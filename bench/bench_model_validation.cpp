@@ -1,0 +1,159 @@
+// Model validation: the fluid simulator's calibrated contention
+// penalties versus the packet-level simulator's *emergent* behavior.
+//
+// simnet assumes eta(k) efficiency curves (calibrated once against the
+// paper's measurements, see EXPERIMENTS.md). packetsim derives goodput
+// from first principles — finite drop-tail switch buffers, sequential
+// sliding windows, timeout retransmission. If the shapes agree, the
+// fluid calibration is not a free parameter fit but a stand-in for real
+// mechanics. Run side by side:
+//   * incast: k senders -> 1 receiver on one switch;
+//   * trunk: k disjoint flows across one inter-switch link;
+//   * contention-free: disjoint same-switch pairs (both must stay at
+//     wire speed — the property the paper's schedule relies on).
+#include <iostream>
+
+#include "aapc/common/strings.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/packetsim/packet_network.hpp"
+#include "aapc/simnet/params.hpp"
+#include "aapc/topology/generators.hpp"
+
+using namespace aapc;
+
+namespace {
+
+double packet_goodput_fraction(
+    const topology::Topology& topo,
+    const std::vector<packetsim::PacketMessage>& messages,
+    const packetsim::PacketNetworkParams& params) {
+  const packetsim::PacketResult result =
+      packetsim::simulate_packets(topo, messages, params);
+  const double wire =
+      params.link_bandwidth_bytes_per_sec *
+      static_cast<double>(params.segment_payload) /
+      static_cast<double>(params.segment_payload + params.segment_overhead);
+  return result.goodput_bytes_per_sec / wire;
+}
+
+}  // namespace
+
+int main() {
+  const simnet::NetworkParams fluid;  // the calibrated defaults
+  packetsim::PacketNetworkParams packet;
+
+  std::cout << "fluid eta(k) (calibrated) vs packet-level goodput "
+               "(emergent)\n\n";
+
+  {
+    TextTable table;
+    table.set_header({"incast k", "fluid eta", "packet goodput"});
+    const topology::Topology topo = topology::make_single_switch(25);
+    for (const int k : {1, 2, 4, 8, 16, 23}) {
+      std::vector<packetsim::PacketMessage> messages;
+      for (int s = 1; s <= k; ++s) {
+        messages.push_back(packetsim::PacketMessage{
+            static_cast<topology::Rank>(s), 0, 1'000'000, 0});
+      }
+      table.add_row(
+          {std::to_string(k),
+           format_double(fluid.contention_efficiency(true, k), 2),
+           format_double(packet_goodput_fraction(topo, messages, packet),
+                         2)});
+    }
+    std::cout << "incast (k senders -> 1 receiver)\n" << table.render()
+              << '\n';
+  }
+
+  {
+    TextTable table;
+    table.set_header({"trunk k", "fluid eta", "packet (fixed W)",
+                      "packet (AIMD)"});
+    const topology::Topology topo = topology::make_chain({24, 24});
+    packetsim::PacketNetworkParams aimd = packet;
+    aimd.transport = packetsim::PacketNetworkParams::Transport::kAimd;
+    aimd.window_segments = 32;
+    for (const int k : {1, 2, 4, 8, 16}) {
+      std::vector<packetsim::PacketMessage> messages;
+      for (int s = 0; s < k; ++s) {
+        messages.push_back(packetsim::PacketMessage{
+            static_cast<topology::Rank>(s),
+            static_cast<topology::Rank>(24 + s), 1'000'000, 0});
+      }
+      table.add_row(
+          {std::to_string(k),
+           format_double(fluid.contention_efficiency(false, k), 2),
+           format_double(packet_goodput_fraction(topo, messages, packet),
+                         2),
+           format_double(packet_goodput_fraction(topo, messages, aimd),
+                         2)});
+    }
+    std::cout << "trunk multiplexing (k disjoint flows, one link)\n"
+              << table.render() << '\n';
+  }
+
+  {
+    TextTable table;
+    table.set_header({"disjoint pairs", "fluid", "packet (per pair)"});
+    const topology::Topology topo = topology::make_single_switch(16);
+    for (const int k : {1, 2, 4, 8}) {
+      std::vector<packetsim::PacketMessage> messages;
+      for (int s = 0; s < k; ++s) {
+        messages.push_back(packetsim::PacketMessage{
+            static_cast<topology::Rank>(2 * s),
+            static_cast<topology::Rank>(2 * s + 1), 1'000'000, 0});
+      }
+      table.add_row(
+          {std::to_string(k), "1.00",
+           format_double(
+               packet_goodput_fraction(topo, messages, packet) / k, 2)});
+    }
+    std::cout << "contention-free pairs (both models: full rate each)\n"
+              << table.render() << '\n';
+  }
+
+  {
+    // Full AAPC flood: the LAM pattern (all 552 messages at once) on
+    // the paper's topology (a) at 64 KB — the one scenario where we
+    // have the fluid prediction AND the paper's physical measurement.
+    const topology::Topology topo = topology::make_paper_topology_a();
+    std::vector<packetsim::PacketMessage> messages;
+    for (topology::Rank src = 0; src < 24; ++src) {
+      for (topology::Rank dst = 0; dst < 24; ++dst) {
+        if (src != dst) {
+          messages.push_back(
+              packetsim::PacketMessage{src, dst, 65536, 0});
+        }
+      }
+    }
+    packetsim::PacketNetworkParams aimd = packet;
+    aimd.transport = packetsim::PacketNetworkParams::Transport::kAimd;
+    aimd.window_segments = 32;
+    const double fixed_ms =
+        1e3 * packetsim::simulate_packets(topo, messages, packet).makespan;
+    const double aimd_ms =
+        1e3 * packetsim::simulate_packets(topo, messages, aimd).makespan;
+    TextTable table;
+    table.set_header({"model", "LAM Alltoall, 24 nodes, 64 KB"});
+    table.add_row({"packet, idealized AIMD", format_double(aimd_ms, 0) + " ms"});
+    table.add_row({"fluid (calibrated)", "309 ms"});
+    table.add_row({"paper measurement", "469 ms"});
+    table.add_row({"packet, fixed window", format_double(fixed_ms, 0) + " ms"});
+    std::cout << "end-to-end cross-check (same flood, four sources of "
+                 "truth)\n"
+              << table.render() << '\n';
+  }
+
+  std::cout
+      << "The incast curve matches the calibration within a few points "
+         "and the\ncontention-free case is exact — the two properties "
+         "the paper's scheduling\nargument rests on. On the trunk, the "
+         "primitive fixed-window transport\nbrackets the fluid curve "
+         "from below and idealized AIMD + fast retransmit\nbrackets it "
+         "from above; the calibrated curve (from the paper's trunk\n"
+         "measurements) sits between them, where real 2004 TCP — AIMD "
+         "with coarse\ntimers and small windows — lived. simnet (fluid) "
+         "remains the measurement\nsubstrate for speed; packetsim "
+         "justifies its loss curves.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Design-choice ablation: Step 6 of the assignment algorithm may use
+// either the broadcast or the rotate pattern (§4.3, "either ... can be
+// used"). Both are optimal in phase count; this bench confirms the
+// choice is performance-neutral end to end, and also reports how the
+// pattern choice shifts the synchronization plan.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "aapc/common/table.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/harness/experiment.hpp"
+#include "aapc/topology/generators.hpp"
+
+using namespace aapc;
+
+namespace {
+
+harness::NamedAlgorithm ours_with_step6(
+    const topology::Topology& topo, const std::string& name,
+    core::AssignmentOptions::Step6Pattern pattern) {
+  core::SchedulerOptions sched;
+  sched.assignment.step6 = pattern;
+  auto schedule = std::make_shared<core::Schedule>(
+      core::build_aapc_schedule(topo, sched));
+  return harness::NamedAlgorithm{
+      name, [&topo, schedule](Bytes msize) {
+        return lowering::lower_schedule(topo, *schedule, msize);
+      }};
+}
+
+}  // namespace
+
+int main() {
+  harness::ExperimentConfig config;
+  config.msizes = {32_KiB, 256_KiB};
+
+  for (const auto& [name, topo] :
+       {std::pair{std::string("topology (b)"),
+                  topology::make_paper_topology_b()},
+        std::pair{std::string("topology (c)"),
+                  topology::make_paper_topology_c()}}) {
+    std::vector<harness::NamedAlgorithm> algorithms;
+    algorithms.push_back(ours_with_step6(
+        topo, "step6-broadcast",
+        core::AssignmentOptions::Step6Pattern::kBroadcast));
+    algorithms.push_back(ours_with_step6(
+        topo, "step6-rotate", core::AssignmentOptions::Step6Pattern::kRotate));
+    const harness::ExperimentReport report = harness::run_experiment(
+        topo, "Step-6 pattern ablation on " + name, algorithms, config);
+    std::cout << report.to_string() << '\n';
+
+    // Sync-plan shape per pattern.
+    TextTable table;
+    table.set_header({"pattern", "sync tokens", "local waits"});
+    for (const auto pattern :
+         {core::AssignmentOptions::Step6Pattern::kBroadcast,
+          core::AssignmentOptions::Step6Pattern::kRotate}) {
+      core::SchedulerOptions sched;
+      sched.assignment.step6 = pattern;
+      const core::Schedule schedule = core::build_aapc_schedule(topo, sched);
+      lowering::LoweringInfo info;
+      lowering::lower_schedule(topo, schedule, 64_KiB, {}, &info);
+      table.add_row(
+          {pattern == core::AssignmentOptions::Step6Pattern::kBroadcast
+               ? "broadcast"
+               : "rotate",
+           std::to_string(info.sync_messages),
+           std::to_string(info.local_wait_dependencies)});
+    }
+    std::cout << table.render() << '\n';
+  }
+  return 0;
+}

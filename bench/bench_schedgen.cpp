@@ -1,0 +1,97 @@
+// E9 — cost of the offline pipeline (google-benchmark).
+//
+// §5 positions the routine generator as an offline tool; this bench
+// shows generation stays cheap enough to run at job-launch time even
+// for clusters far larger than the paper's: schedule construction,
+// verification, synchronization planning, lowering, and C emission as
+// functions of cluster size and shape.
+#include <benchmark/benchmark.h>
+
+#include "aapc/codegen/codegen.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/sync/sync_plan.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace {
+
+using aapc::topology::Topology;
+
+Topology shaped_topology(std::int64_t machines, std::int64_t shape) {
+  switch (shape) {
+    case 0:
+      return aapc::topology::make_single_switch(
+          static_cast<std::int32_t>(machines));
+    case 1: {
+      const auto per = static_cast<std::int32_t>(machines / 4);
+      return aapc::topology::make_star(
+          {per, per, per, static_cast<std::int32_t>(machines) - 3 * per});
+    }
+    default: {
+      const auto per = static_cast<std::int32_t>(machines / 4);
+      return aapc::topology::make_chain(
+          {per, per, per, static_cast<std::int32_t>(machines) - 3 * per});
+    }
+  }
+}
+
+void BM_BuildSchedule(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aapc::core::build_aapc_schedule(topo));
+  }
+  state.SetLabel(std::to_string(topo.machine_count()) + " machines");
+}
+BENCHMARK(BM_BuildSchedule)
+    ->ArgsProduct({{8, 16, 32, 64, 128}, {0, 1, 2}});
+
+void BM_VerifySchedule(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), 2);
+  const aapc::core::Schedule schedule = aapc::core::build_aapc_schedule(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aapc::core::verify_schedule(topo, schedule));
+  }
+}
+BENCHMARK(BM_VerifySchedule)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SyncPlan(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), 2);
+  const aapc::core::Schedule schedule = aapc::core::build_aapc_schedule(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aapc::sync::build_sync_plan(topo, schedule));
+  }
+}
+BENCHMARK(BM_SyncPlan)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Lowering(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), 2);
+  const aapc::core::Schedule schedule = aapc::core::build_aapc_schedule(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aapc::lowering::lower_schedule(topo, schedule, 65536));
+  }
+}
+BENCHMARK(BM_Lowering)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CodegenC(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), 0);
+  const aapc::core::Schedule schedule = aapc::core::build_aapc_schedule(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aapc::codegen::generate_alltoall_c(topo, schedule));
+  }
+}
+BENCHMARK(BM_CodegenC)->Arg(16)->Arg(32);
+
+void BM_Decompose(benchmark::State& state) {
+  const Topology topo = shaped_topology(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aapc::core::decompose(topo));
+  }
+}
+BENCHMARK(BM_Decompose)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Failure-injection study: robustness of the schedules to a degraded
+// link (a flaky cable / auto-negotiation fallback — a real Ethernet
+// failure mode the paper's testbed could have hit).
+//
+// The generated routine's pair-wise synchronization chains phases
+// through the degraded link, so a slow link stalls successors; the
+// unscheduled baselines overlap transfers and can absorb a single slow
+// access link in the background. This bench quantifies the sensitivity:
+// completion time versus the degradation factor of one access link and
+// of the bottleneck trunk, on topology (c). (Findings: trunk
+// degradation hurts every algorithm in proportion and the generated
+// routine keeps its lead; an access-link straggler is amplified by the
+// synchronization chain and flips the winner below ~25% of nominal —
+// the price of strict serialization, worth knowing before deploying on
+// flaky hardware.)
+#include <iostream>
+
+#include "aapc/common/strings.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/harness/experiment.hpp"
+#include "aapc/topology/generators.hpp"
+
+using namespace aapc;
+
+namespace {
+
+/// Completion times of the standard suite with `link` degraded to
+/// `fraction` of nominal bandwidth.
+std::vector<double> run_with_degraded_link(const topology::Topology& topo,
+                                           topology::LinkId link,
+                                           double fraction, Bytes msize) {
+  harness::ExperimentConfig config;
+  if (link >= 0) {
+    config.net.link_bandwidth_overrides = {
+        {link, config.net.link_bandwidth_bytes_per_sec * fraction}};
+  }
+  std::vector<double> times;
+  for (const auto& algo : harness::standard_suite(topo)) {
+    times.push_back(
+        harness::run_algorithm(topo, algo, msize, config).completion);
+  }
+  return times;
+}
+
+}  // namespace
+
+int main() {
+  const topology::Topology topo = topology::make_paper_topology_c();
+  const Bytes msize = 128_KiB;
+
+  // Locate the trunk s1-s2 and one access link.
+  topology::LinkId trunk = -1;
+  topology::LinkId access = -1;
+  for (topology::LinkId link = 0; link < topo.link_count(); ++link) {
+    const auto [a, b] = topo.link_endpoints(link);
+    if (topo.name(a) == "s1" && topo.name(b) == "s2") trunk = link;
+    if (access < 0 && (topo.is_machine(a) || topo.is_machine(b))) {
+      access = link;
+    }
+  }
+
+  const std::vector<double> baseline =
+      run_with_degraded_link(topo, -1, 1.0, msize);
+
+  for (const auto& [label, link] :
+       {std::pair{std::string("one access link"), access},
+        std::pair{std::string("the bottleneck trunk"), trunk}}) {
+    TextTable table;
+    table.set_header({"degradation", "LAM", "MPICH", "Ours",
+                      "ours slowdown"});
+    for (const double fraction : {1.0, 0.5, 0.25, 0.1}) {
+      const std::vector<double> times =
+          run_with_degraded_link(topo, link, fraction, msize);
+      table.add_row(
+          {format_double(100 * fraction, 0) + "%",
+           format_double(to_milliseconds(times[0]), 0) + "ms",
+           format_double(to_milliseconds(times[1]), 0) + "ms",
+           format_double(to_milliseconds(times[2]), 0) + "ms",
+           format_double(times[2] / baseline[2], 2) + "x"});
+    }
+    std::cout << "degrading " << label << " on topology (c), msize "
+              << format_size(msize) << "B\n"
+              << table.render() << '\n';
+  }
+  std::cout
+      << "A degraded trunk hurts everyone roughly in proportion (it is "
+         "the bottleneck)\nand the generated routine keeps its lead. A "
+         "degraded ACCESS link, however, is\namplified by the pair-wise "
+         "synchronization chain: the overlapped baselines\nabsorb the "
+         "straggler in the background, and below ~25% of nominal the\n"
+         "unsynchronized algorithms win — strict serialization trades "
+         "straggler\ntolerance for contention freedom.\n";
+  return 0;
+}

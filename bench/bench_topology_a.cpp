@@ -1,0 +1,12 @@
+// E1 — Figure 6 of the paper: 24 machines on a single switch
+// (topology (a)). Prints (a) the completion-time table and (b) the
+// aggregate-throughput series with the theoretical peak (2400 Mbps).
+#include "bench_support.hpp"
+
+#include "aapc/topology/generators.hpp"
+
+int main(int argc, char** argv) {
+  return aapc::bench::run_topology_bench(
+      "Figure 6 — topology (a): 24 machines, one switch",
+      aapc::topology::make_paper_topology_a(), argc, argv);
+}

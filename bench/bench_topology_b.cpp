@@ -1,0 +1,11 @@
+// E2 — Figure 7 of the paper: 32 machines over four switches in a star
+// (topology (b)). Peak aggregate throughput 32*31*100/192 ≈ 516.7 Mbps.
+#include "bench_support.hpp"
+
+#include "aapc/topology/generators.hpp"
+
+int main(int argc, char** argv) {
+  return aapc::bench::run_topology_bench(
+      "Figure 7 — topology (b): 32 machines, 4-switch star",
+      aapc::topology::make_paper_topology_b(), argc, argv);
+}

@@ -1,0 +1,12 @@
+// E3 — Figure 8 of the paper: 32 machines over four switches in a chain
+// (topology (c)). The middle trunk is the bottleneck (16 x 16 = 256),
+// peak 387.5 Mbps.
+#include "bench_support.hpp"
+
+#include "aapc/topology/generators.hpp"
+
+int main(int argc, char** argv) {
+  return aapc::bench::run_topology_bench(
+      "Figure 8 — topology (c): 32 machines, 4-switch chain",
+      aapc::topology::make_paper_topology_c(), argc, argv);
+}

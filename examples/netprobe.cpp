@@ -1,0 +1,132 @@
+// Network probe: characterizes the simulator the way one would
+// calibrate a real cluster with microbenchmarks — effective goodput as
+// a function of concurrent flow count for each contention mechanism.
+// These are the curves EXPERIMENTS.md's calibration table refers to.
+//
+// Run:  ./netprobe
+#include <iostream>
+
+#include "aapc/common/strings.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/simnet/fluid_network.hpp"
+#include "aapc/topology/generators.hpp"
+
+using namespace aapc;
+
+namespace {
+
+/// Aggregate goodput (Mbps) of `flows` simultaneous transfers described
+/// by (src, dst) rank pairs, each moving `bytes`.
+double measure(const topology::Topology& topo,
+               const simnet::NetworkParams& params,
+               const std::vector<std::pair<topology::Rank, topology::Rank>>&
+                   flows,
+               Bytes bytes) {
+  simnet::FluidNetwork network(topo, params);
+  for (const auto& [src, dst] : flows) {
+    network.add_flow(topo.machine_node(src), topo.machine_node(dst), bytes,
+                     0);
+  }
+  std::vector<simnet::FlowId> completed;
+  while (!network.idle()) {
+    network.advance_to(network.next_event_time(), completed);
+  }
+  const double total =
+      static_cast<double>(bytes) * static_cast<double>(flows.size());
+  return bytes_per_sec_to_mbps(total / network.now());
+}
+
+}  // namespace
+
+int main() {
+  const simnet::NetworkParams params;  // the calibrated defaults
+  const Bytes bytes = 1_MiB;
+
+  std::cout << "simnet contention curves (calibrated defaults, "
+            << format_double(
+                   bytes_per_sec_to_mbps(params.effective_bandwidth()), 1)
+            << " Mbps effective per link direction)\n\n";
+
+  // 1. Incast: k senders, one receiver, one switch.
+  {
+    const topology::Topology topo = topology::make_single_switch(25);
+    TextTable table;
+    table.set_header({"senders -> 1 receiver", "aggregate Mbps",
+                      "efficiency"});
+    for (const int k : {1, 2, 4, 8, 16, 23}) {
+      std::vector<std::pair<topology::Rank, topology::Rank>> flows;
+      for (int i = 0; i < k; ++i) {
+        flows.emplace_back(static_cast<topology::Rank>(i + 1), 0);
+      }
+      const double mbps = measure(topo, params, flows, bytes);
+      table.add_row({std::to_string(k), format_double(mbps, 1),
+                     format_double(
+                         mbps / bytes_per_sec_to_mbps(
+                                    params.effective_bandwidth()),
+                         2)});
+    }
+    std::cout << "incast (many-to-one)\n" << table.render() << '\n';
+  }
+
+  // 2. Trunk multiplexing: k disjoint flows across one switch-switch
+  // link.
+  {
+    const topology::Topology topo = topology::make_chain({24, 24});
+    TextTable table;
+    table.set_header({"flows across trunk", "aggregate Mbps",
+                      "efficiency"});
+    for (const int k : {1, 2, 4, 8, 16, 24}) {
+      std::vector<std::pair<topology::Rank, topology::Rank>> flows;
+      for (int i = 0; i < k; ++i) {
+        flows.emplace_back(static_cast<topology::Rank>(i),
+                           static_cast<topology::Rank>(24 + i));
+      }
+      const double mbps = measure(topo, params, flows, bytes);
+      table.add_row({std::to_string(k), format_double(mbps, 1),
+                     format_double(
+                         mbps / bytes_per_sec_to_mbps(
+                                    params.effective_bandwidth()),
+                         2)});
+    }
+    std::cout << "trunk multiplexing (disjoint endpoints)\n"
+              << table.render() << '\n';
+  }
+
+  // 3. Switch fabric: k disjoint same-switch pairs.
+  {
+    const topology::Topology topo = topology::make_single_switch(48);
+    TextTable table;
+    table.set_header({"disjoint pairs in one switch", "aggregate Mbps",
+                      "per-flow efficiency"});
+    for (const int k : {1, 4, 8, 12, 18, 24}) {
+      std::vector<std::pair<topology::Rank, topology::Rank>> flows;
+      for (int i = 0; i < k; ++i) {
+        flows.emplace_back(static_cast<topology::Rank>(2 * i),
+                           static_cast<topology::Rank>(2 * i + 1));
+      }
+      const double mbps = measure(topo, params, flows, bytes);
+      table.add_row(
+          {std::to_string(k), format_double(mbps, 1),
+           format_double(mbps / (k * bytes_per_sec_to_mbps(
+                                         params.effective_bandwidth())),
+                         2)});
+    }
+    std::cout << "switch fabric saturation\n" << table.render() << '\n';
+  }
+
+  // 4. Duplex: one pair, one vs two directions.
+  {
+    const topology::Topology topo = topology::make_single_switch(2);
+    const double one =
+        measure(topo, params, {{0, 1}}, bytes);
+    const double both =
+        measure(topo, params, {{0, 1}, {1, 0}}, bytes);
+    std::cout << "end-host duplex\n"
+              << "one direction:  " << format_double(one, 1) << " Mbps\n"
+              << "both directions: " << format_double(both, 1)
+              << " Mbps aggregate ("
+              << format_double(both / (2 * one), 2)
+              << " of 2x one-way)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Baseline MPI_Alltoall algorithms the paper compares against (§6).
+//
+//  * LAM/MPI 6.5.9: post every nonblocking receive and send, then wait
+//    for all of them; rank i sends in the order i->0, i->1, ...,
+//    i->N-1 (no scheduling, heavy contention at large sizes).
+//  * MPICH (Thakur/Rabenseifner/Gropp improvements):
+//      - 256 < msize <= 32768: LAM-like posting but rank i sends in the
+//        order i->i+1, i->i+2, ..., i->i+N-1 (mod N);
+//      - msize > 32768, N a power of two: pairwise exchange, step j in
+//        [1, N): sendrecv with partner i XOR j;
+//      - msize > 32768 otherwise: ring, step j in [1, N): send to i+j,
+//        receive from i-j (mod N);
+//    and a dispatcher (`mpich_alltoall`) that picks by size/node count.
+//
+// All builders include the rank's local copy of its own block so the
+// modeled work matches MPI_Alltoall semantics.
+#pragma once
+
+#include "aapc/common/units.hpp"
+#include <vector>
+
+#include "aapc/mpisim/program.hpp"
+
+namespace aapc::baselines {
+
+/// LAM/MPI's simple algorithm.
+mpisim::ProgramSet lam_alltoall(std::int32_t ranks, Bytes msize);
+
+/// MPICH's ordered nonblocking algorithm (mid-size messages).
+mpisim::ProgramSet mpich_ordered_alltoall(std::int32_t ranks, Bytes msize);
+
+/// MPICH's pairwise-exchange algorithm; requires `ranks` to be a power
+/// of two.
+mpisim::ProgramSet mpich_pairwise_alltoall(std::int32_t ranks, Bytes msize);
+
+/// MPICH's ring algorithm (large messages, non-power-of-two).
+mpisim::ProgramSet mpich_ring_alltoall(std::int32_t ranks, Bytes msize);
+
+/// The size-adaptive dispatcher as described in §6.
+mpisim::ProgramSet mpich_alltoall(std::int32_t ranks, Bytes msize);
+
+/// LAM-style MPI_Alltoallv: post everything with per-pair sizes from a
+/// row-major |M| x |M| matrix (zero entries send a minimal message so
+/// every pair still matches, mirroring lower_schedule_irregular). The
+/// irregular-AAPC baseline.
+mpisim::ProgramSet lam_alltoallv(std::int32_t ranks,
+                                 const std::vector<Bytes>& size_matrix);
+
+bool is_power_of_two(std::int32_t value);
+
+}  // namespace aapc::baselines

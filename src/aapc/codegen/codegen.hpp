@@ -1,0 +1,44 @@
+// C code generation: the §5 "automatic routine generator".
+//
+// Takes the same lowered per-rank programs the simulator executes and
+// emits a self-contained, compile-ready C routine built on MPI
+// point-to-point primitives — a customized MPI_Alltoall for one specific
+// topology, with the pair-wise synchronization messages inlined. The
+// emitted routine and the simulated ProgramSet come from one source of
+// truth (lowering), so what we measure is what we generate.
+#pragma once
+
+#include <string>
+
+#include "aapc/core/schedule.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/mpisim/program.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::codegen {
+
+struct CodegenOptions {
+  /// Name of the emitted function.
+  std::string function_name = "AAPC_Alltoall";
+  lowering::LoweringOptions lowering;
+};
+
+/// Emits C source for a topology-customized MPI_Alltoall. The routine
+/// has the signature
+///   int <name>(const void* sendbuf, int scount, MPI_Datatype stype,
+///              void* recvbuf, int rcount, MPI_Datatype rtype,
+///              MPI_Comm comm);
+/// and refuses communicators whose size differs from the topology's
+/// machine count. `schedule` must be a verified schedule for `topo`.
+std::string generate_alltoall_c(const topology::Topology& topo,
+                                const core::Schedule& schedule,
+                                const CodegenOptions& options = {});
+
+/// Emits C source directly from an already-lowered program set (used by
+/// generate_alltoall_c; exposed for tests and for generating baseline
+/// routines).
+std::string generate_programs_c(const topology::Topology& topo,
+                                const mpisim::ProgramSet& set,
+                                const std::string& function_name);
+
+}  // namespace aapc::codegen

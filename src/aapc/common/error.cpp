@@ -1,0 +1,15 @@
+#include "aapc/common/error.hpp"
+
+namespace aapc::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace aapc::detail

@@ -1,0 +1,77 @@
+// Error handling primitives shared by every aapc module.
+//
+// The library reports unrecoverable API misuse and malformed inputs by
+// throwing `aapc::Error` (dynamic message, carries the throw site).
+// Internal invariant violations use AAPC_CHECK and throw
+// `aapc::InternalError`; these indicate a bug in the library itself.
+//
+// Following the C++ Core Guidelines (E.2, I.10) we use exceptions rather
+// than error codes: scheduling and simulation are batch computations with
+// no hot-path error propagation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aapc {
+
+/// Base class for all errors thrown by the aapc library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input (bad topology file, invalid parameter, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A violated internal invariant; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message);
+}  // namespace detail
+
+}  // namespace aapc
+
+/// Verify a library-internal invariant; throws aapc::InternalError with
+/// file/line context when `expr` is false. Always enabled (the scheduling
+/// pipeline is not hot enough to justify an NDEBUG variant silently
+/// skipping invariants).
+#define AAPC_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::aapc::detail::throw_check_failure("internal check", #expr, __FILE__, \
+                                          __LINE__, "");                     \
+    }                                                                        \
+  } while (0)
+
+/// Like AAPC_CHECK but with a streamed message:
+///   AAPC_CHECK_MSG(a == b, "phase " << p << " mismatched");
+#define AAPC_CHECK_MSG(expr, stream_expr)                                    \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream aapc_check_os_;                                     \
+      aapc_check_os_ << stream_expr;                                         \
+      ::aapc::detail::throw_check_failure("internal check", #expr, __FILE__, \
+                                          __LINE__, aapc_check_os_.str());   \
+    }                                                                        \
+  } while (0)
+
+/// Validate a user-supplied argument; throws aapc::InvalidArgument.
+#define AAPC_REQUIRE(expr, stream_expr)                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream aapc_req_os_;                           \
+      aapc_req_os_ << stream_expr;                               \
+      throw ::aapc::InvalidArgument(aapc_req_os_.str());         \
+    }                                                            \
+  } while (0)

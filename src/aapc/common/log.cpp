@@ -1,0 +1,55 @@
+#include "aapc/common/log.hpp"
+
+#include <cstdio>
+
+namespace aapc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const char* file, int line,
+              const std::string& message) {
+  // Trim the path to the basename to keep lines short.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[aapc %-5s %s:%d] %s\n", level_name(level), base, line,
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace aapc

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Logging in this library is diagnostic only (schedule construction
+// traces, simulator event dumps); nothing on a performance-critical path
+// logs unconditionally. The level is a process-global atomic so tests and
+// examples can turn tracing on without threading a logger object through
+// every API.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace aapc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line,
+              const std::string& message);
+}  // namespace detail
+
+}  // namespace aapc
+
+#define AAPC_LOG(level, stream_expr)                                    \
+  do {                                                                  \
+    if (::aapc::log_enabled(level)) {                                   \
+      std::ostringstream aapc_log_os_;                                  \
+      aapc_log_os_ << stream_expr;                                      \
+      ::aapc::detail::log_emit(level, __FILE__, __LINE__,               \
+                               aapc_log_os_.str());                     \
+    }                                                                   \
+  } while (0)
+
+#define AAPC_TRACE(stream_expr) AAPC_LOG(::aapc::LogLevel::kTrace, stream_expr)
+#define AAPC_DEBUG(stream_expr) AAPC_LOG(::aapc::LogLevel::kDebug, stream_expr)
+#define AAPC_INFO(stream_expr) AAPC_LOG(::aapc::LogLevel::kInfo, stream_expr)
+#define AAPC_WARN(stream_expr) AAPC_LOG(::aapc::LogLevel::kWarn, stream_expr)
+#define AAPC_ERROR(stream_expr) AAPC_LOG(::aapc::LogLevel::kError, stream_expr)

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for tests, topology
+// generators, and workload sweeps.
+//
+// We use xoshiro256** seeded via splitmix64. Determinism matters: every
+// randomized property test and every generated topology must be exactly
+// reproducible from its seed across platforms, which rules out
+// std::default_random_engine (implementation-defined) and the standard
+// distributions (unspecified algorithms). The uniform-int/real mappings
+// below are therefore hand-rolled and stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aapc {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded with splitmix64 as the authors recommend.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace aapc

@@ -1,0 +1,48 @@
+// Small string utilities used across the library (gcc 12 lacks
+// std::format, so formatting goes through ostringstream helpers).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aapc {
+
+/// Concatenate the stream representations of all arguments.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Split on a delimiter; empty tokens are kept (like Python's split).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on arbitrary whitespace runs; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Parse a non-negative integer; throws InvalidArgument on junk.
+std::uint64_t parse_u64(std::string_view text);
+
+/// Parse a size with optional K/M/G suffix (powers of two), e.g. "64K".
+std::uint64_t parse_size(std::string_view text);
+
+/// Render a byte count compactly ("64K", "1M", "1000").
+std::string format_size(std::uint64_t bytes);
+
+/// Fixed-precision double rendering ("12.34").
+std::string format_double(double value, int precision);
+
+}  // namespace aapc

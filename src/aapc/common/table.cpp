@@ -1,0 +1,92 @@
+#include "aapc/common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aapc {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::size_t column_count(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::size_t count = header.size();
+  for (const auto& row : rows) {
+    count = std::max(count, row.size());
+  }
+  return count;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  const std::size_t columns = column_count(header_, rows_);
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        os << cell << std::string(pad, ' ');
+      } else {
+        os << "  " << std::string(pad, ' ') << cell;
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < columns; ++c) {
+      rule += widths[c] + (c == 0 ? 0 : 2);
+    }
+    os << std::string(rule, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace aapc

@@ -1,0 +1,38 @@
+// Plain-text table and CSV rendering for the benchmark harness and
+// examples. Renders the same row/column layout the paper's tables use.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aapc {
+
+/// Column-aligned text table. Cells are strings; the first added row can
+/// serve as a header (separated by a rule when render()'s with_header is
+/// true).
+class TextTable {
+ public:
+  /// Sets the header row (optional).
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have differing cell counts; missing
+  /// cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded, left-aligned first column and right-aligned
+  /// remaining columns (matching numeric-table conventions).
+  std::string render() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are
+  /// quoted).
+  std::string render_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aapc

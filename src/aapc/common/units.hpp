@@ -1,0 +1,42 @@
+// Units used throughout the simulator and harness.
+//
+// Simulated time is a double in seconds (fluid-flow events are sparse and
+// well above femtosecond resolution, so double precision is ample).
+// Bandwidth is bytes per second; the paper quotes link speeds in Mbps
+// (decimal megabits, Ethernet convention) and message sizes in binary
+// KB/KiB, so conversion helpers live here to keep call sites honest.
+#pragma once
+
+#include <cstdint>
+
+namespace aapc {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Bytes, message and buffer sizes.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator"" _KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator"" _MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+
+/// Decimal megabits/second -> bytes/second (Ethernet link-speed
+/// convention: 100 Mbps = 100e6 bits/s).
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1e6 / 8.0;
+}
+
+/// Bytes/second -> decimal megabits/second.
+constexpr double bytes_per_sec_to_mbps(double bytes_per_sec) {
+  return bytes_per_sec * 8.0 / 1e6;
+}
+
+constexpr SimTime microseconds(double us) { return us * 1e-6; }
+constexpr SimTime milliseconds(double ms) { return ms * 1e-3; }
+
+constexpr double to_milliseconds(SimTime t) { return t * 1e3; }
+constexpr double to_microseconds(SimTime t) { return t * 1e6; }
+
+}  // namespace aapc

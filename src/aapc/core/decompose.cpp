@@ -1,0 +1,138 @@
+#include "aapc/core/decompose.hpp"
+
+#include <algorithm>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::core {
+
+namespace {
+
+/// Machine ranks in the component containing `start` after deleting
+/// `blocked` from the tree; ascending rank order.
+std::vector<Rank> component_machines(const Topology& topo, NodeId start,
+                                     NodeId blocked) {
+  std::vector<Rank> machines;
+  std::vector<NodeId> stack{start};
+  std::vector<char> seen(topo.node_count(), 0);
+  seen[start] = 1;
+  seen[blocked] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (topo.is_machine(u)) machines.push_back(topo.rank_of(u));
+    for (const NodeId w : topo.neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  std::sort(machines.begin(), machines.end());
+  return machines;
+}
+
+}  // namespace
+
+std::int64_t Decomposition::total_phases() const {
+  const std::int64_t m0 = subtree_size(0);
+  return m0 * (machine_count() - m0);
+}
+
+Decomposition decompose(const Topology& topo) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  AAPC_REQUIRE(topo.machine_count() >= 3,
+               "decompose requires |M| >= 3 (AAPC is trivial below that)");
+
+  // §4.1: start from any bottleneck link, orient toward the side with
+  // more machines.
+  const topology::LinkId bottleneck = topo.bottleneck_link();
+  auto [a, b] = topo.link_endpoints(bottleneck);
+  if (topo.machines_on_side(bottleneck, a) <
+      topo.machines_on_side(bottleneck, b)) {
+    std::swap(a, b);
+  }
+  NodeId u = a;  // heavy side
+  NodeId v = b;
+
+  while (true) {
+    AAPC_CHECK_MSG(!topo.is_machine(u),
+                   "root search reached machine " << topo.name(u)
+                                                  << "; |M| < 3?");
+    // Branches of u inside Gu (everything except the v side) that
+    // contain at least one machine.
+    NodeId sole_branch = topology::kInvalidNode;
+    std::int32_t machine_branches = 0;
+    for (const NodeId w : topo.neighbors(u)) {
+      if (w == v) continue;
+      if (!component_machines(topo, w, u).empty()) {
+        ++machine_branches;
+        sole_branch = w;
+      }
+    }
+    AAPC_CHECK_MSG(machine_branches >= 1,
+                   "heavy side of bottleneck has no machines");
+    if (machine_branches > 1) {
+      break;  // u is the root.
+    }
+    // Exactly one machine-bearing branch: (sole_branch, u) is also a
+    // bottleneck link; repeat from there (§4.1).
+    v = u;
+    u = sole_branch;
+  }
+
+  return decompose_at(topo, u);
+}
+
+Decomposition decompose_at(const Topology& topo, NodeId root) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  AAPC_REQUIRE(topo.machine_count() >= 3, "decompose requires |M| >= 3");
+  AAPC_REQUIRE(!topo.is_machine(root),
+               "root " << topo.name(root) << " must be a switch");
+
+  Decomposition out;
+  out.root = root;
+
+  for (const NodeId w : topo.neighbors(root)) {
+    std::vector<Rank> machines = component_machines(topo, w, root);
+    if (!machines.empty()) {
+      out.subtrees.push_back(std::move(machines));
+    }
+  }
+  std::sort(out.subtrees.begin(), out.subtrees.end(),
+            [](const std::vector<Rank>& lhs, const std::vector<Rank>& rhs) {
+              if (lhs.size() != rhs.size()) return lhs.size() > rhs.size();
+              return lhs.front() < rhs.front();
+            });
+
+  out.subtree_of.assign(topo.machine_count(), -1);
+  out.index_in_subtree.assign(topo.machine_count(), -1);
+  for (std::size_t i = 0; i < out.subtrees.size(); ++i) {
+    for (std::size_t x = 0; x < out.subtrees[i].size(); ++x) {
+      const Rank r = out.subtrees[i][x];
+      out.subtree_of[r] = static_cast<std::int32_t>(i);
+      out.index_in_subtree[r] = static_cast<std::int32_t>(x);
+    }
+  }
+
+  std::int32_t covered = 0;
+  for (const auto& subtree : out.subtrees) {
+    covered += static_cast<std::int32_t>(subtree.size());
+  }
+  AAPC_CHECK(covered == topo.machine_count());
+  AAPC_REQUIRE(out.subtree_count() >= 2,
+               "root " << topo.name(root)
+                       << " has fewer than two machine-bearing subtrees");
+  // Optimality condition: the schedule will have |M0| * (|M| - |M0|)
+  // phases, which can never be below the AAPC load but falls short of it
+  // for a badly chosen root. (Lemma 1's |M0| <= |M|/2 is sufficient for
+  // equality but not necessary: any root whose largest subtree realizes
+  // the bottleneck load also works, and decompose_at accepts those.)
+  AAPC_REQUIRE(out.total_phases() == topo.aapc_load(),
+               "root " << topo.name(root) << " yields "
+                       << out.total_phases() << " phases but the AAPC load is "
+                       << topo.aapc_load());
+  return out;
+}
+
+}  // namespace aapc::core

@@ -1,0 +1,68 @@
+// Root identification and subtree decomposition (§4.1 of the paper).
+//
+// The *root* is a switch that (1) touches a bottleneck link and (2) has
+// every machine-bearing subtree holding at most |M|/2 machines (Lemma 1).
+// The scheduler then views the network two-level (Figure 2): a root with
+// k machine-bearing subtrees t0..t(k-1), |M0| >= ... >= |M(k-1)|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::core {
+
+using topology::NodeId;
+using topology::Rank;
+using topology::Topology;
+
+/// Two-level decomposition of the tree around the scheduling root.
+struct Decomposition {
+  NodeId root = topology::kInvalidNode;
+
+  /// Machine ranks per subtree, sorted descending by subtree size
+  /// (|M0| >= |M1| >= ...; ties broken by smallest contained rank so the
+  /// decomposition is deterministic). Within a subtree, ranks are in
+  /// ascending order: subtrees[i][x] is the paper's t_{i,x}.
+  std::vector<std::vector<Rank>> subtrees;
+
+  /// subtree_of[r] / index_in_subtree[r]: position of rank r, i.e.
+  /// r == subtrees[subtree_of[r]][index_in_subtree[r]].
+  std::vector<std::int32_t> subtree_of;
+  std::vector<std::int32_t> index_in_subtree;
+
+  std::int32_t subtree_count() const {
+    return static_cast<std::int32_t>(subtrees.size());
+  }
+  std::int32_t machine_count() const {
+    return static_cast<std::int32_t>(subtree_of.size());
+  }
+  std::int32_t subtree_size(std::int32_t i) const {
+    return static_cast<std::int32_t>(subtrees[i].size());
+  }
+
+  /// |M0| * (|M| - |M0|): the phase count of the optimal schedule, equal
+  /// to the AAPC load of the topology (§4).
+  std::int64_t total_phases() const;
+};
+
+/// Runs the §4.1 procedure: pick a bottleneck link, walk toward the
+/// machine-heavy side until a node with more than one machine-bearing
+/// branch is found. Requires a finalized topology with >= 3 machines.
+/// Postconditions (checked): the root is adjacent to a bottleneck link
+/// and every subtree has <= |M|/2 machines.
+///
+/// When the bottleneck splits the machines evenly, either endpoint is a
+/// valid root (the paper's "assume |Mu| >= |Mv|" leaves the tie open);
+/// this implementation breaks the tie deterministically. Use
+/// decompose_at to pin a specific root.
+Decomposition decompose(const Topology& topo);
+
+/// Builds the decomposition around a caller-chosen root. Throws
+/// InvalidArgument unless the root yields an optimal schedule, i.e.
+/// every machine-bearing subtree has <= |M|/2 machines and
+/// |M0| * (|M| - |M0|) equals the AAPC load (the §4.1 conditions).
+Decomposition decompose_at(const Topology& topo, NodeId root);
+
+}  // namespace aapc::core

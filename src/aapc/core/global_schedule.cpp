@@ -1,0 +1,59 @@
+#include "aapc/core/global_schedule.hpp"
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::core {
+
+GlobalSchedule::GlobalSchedule(std::vector<std::int32_t> sizes)
+    : sizes_(std::move(sizes)) {
+  AAPC_REQUIRE(sizes_.size() >= 2, "need at least two subtrees");
+  std::int64_t total = 0;
+  prefix_.assign(sizes_.size() + 1, 0);
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    AAPC_REQUIRE(sizes_[i] >= 1, "subtree " << i << " is empty");
+    AAPC_REQUIRE(i == 0 || sizes_[i] <= sizes_[i - 1],
+                 "subtree sizes must be non-increasing");
+    prefix_[i + 1] = prefix_[i] + sizes_[i];
+    total += sizes_[i];
+  }
+  total_phases_ = static_cast<std::int64_t>(sizes_[0]) * (total - sizes_[0]);
+}
+
+std::int64_t GlobalSchedule::group_start(std::int32_t i, std::int32_t j) const {
+  AAPC_CHECK(i >= 0 && i < subtree_count());
+  AAPC_CHECK(j >= 0 && j < subtree_count());
+  AAPC_CHECK(i != j);
+  if (j > i) {
+    // Messages in ti -> tj start at |Mi| * (|M(i+1)| + ... + |M(j-1)|).
+    return static_cast<std::int64_t>(sizes_[i]) * (prefix_[j] - prefix_[i + 1]);
+  }
+  // i > j: start at |M0|*(|M|-|M0|) - |Mj| * (|M(j+1)| + ... + |Mi|).
+  return total_phases_ -
+         static_cast<std::int64_t>(sizes_[j]) * (prefix_[i + 1] - prefix_[j + 1]);
+}
+
+std::int64_t GlobalSchedule::group_length(std::int32_t i,
+                                          std::int32_t j) const {
+  AAPC_CHECK(i != j);
+  return static_cast<std::int64_t>(sizes_[i]) * sizes_[j];
+}
+
+std::pair<std::int32_t, std::int32_t> GlobalSchedule::sending_group_at(
+    std::int32_t from, std::int64_t p) const {
+  for (std::int32_t j = 0; j < subtree_count(); ++j) {
+    if (j == from) continue;
+    const std::int64_t start = group_start(from, j);
+    if (p >= start && p < start + group_length(from, j)) {
+      return {from, j};
+    }
+  }
+  return {-1, -1};
+}
+
+std::int64_t GlobalSchedule::ring_phase(std::int32_t i, std::int32_t j,
+                                        std::int32_t k) {
+  AAPC_CHECK(i != j && i >= 0 && j >= 0 && i < k && j < k);
+  return j > i ? (j - i - 1) : (k - 1) - (i - j);
+}
+
+}  // namespace aapc::core

@@ -1,0 +1,52 @@
+// Global message scheduling (§4.2): allocate consecutive phase spans to
+// inter-subtree message groups ti → tj via the extended ring scheduling,
+// so that no two groups use a root link in the same phase (Lemma 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aapc/core/decompose.hpp"
+
+namespace aapc::core {
+
+/// Phase spans per ordered subtree pair. Sizes are the |Mi| of the
+/// decomposition, already sorted descending.
+class GlobalSchedule {
+ public:
+  /// `sizes` must be non-increasing and contain at least 2 entries.
+  explicit GlobalSchedule(std::vector<std::int32_t> sizes);
+
+  std::int32_t subtree_count() const {
+    return static_cast<std::int32_t>(sizes_.size());
+  }
+  std::int32_t size(std::int32_t i) const { return sizes_[i]; }
+
+  /// |M0| * (|M| - |M0|).
+  std::int64_t total_phases() const { return total_phases_; }
+
+  /// First phase of group ti → tj (i != j); the group occupies
+  /// |Mi| * |Mj| consecutive phases.
+  std::int64_t group_start(std::int32_t i, std::int32_t j) const;
+
+  /// |Mi| * |Mj|.
+  std::int64_t group_length(std::int32_t i, std::int32_t j) const;
+
+  /// The group (i, j) covering phase p with i == from-subtree, or
+  /// (-1, -1) when subtree `from` is not sending in phase p.
+  /// O(k) scan — callers iterate groups instead on hot paths.
+  std::pair<std::int32_t, std::int32_t> sending_group_at(std::int32_t from,
+                                                         std::int64_t p) const;
+
+  /// Ring-scheduling phase (Table 1) for singleton subtrees: the phase of
+  /// ti → tj with all |Mi| = 1 is j-i-1 (j > i) or (k-1)-(i-j) (i > j).
+  static std::int64_t ring_phase(std::int32_t i, std::int32_t j,
+                                 std::int32_t k);
+
+ private:
+  std::vector<std::int32_t> sizes_;
+  std::vector<std::int64_t> prefix_;  // prefix_[i] = sum of sizes_[0..i)
+  std::int64_t total_phases_ = 0;
+};
+
+}  // namespace aapc::core

@@ -1,0 +1,41 @@
+#include "aapc/core/patterns.hpp"
+
+#include <numeric>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::core {
+
+std::vector<PatternEntry> broadcast_pattern(std::int32_t mi, std::int32_t mj,
+                                            std::int32_t receiver_offset) {
+  AAPC_REQUIRE(mi >= 1 && mj >= 1, "pattern sizes must be positive");
+  std::vector<PatternEntry> out;
+  out.reserve(static_cast<std::size_t>(mi) * mj);
+  for (std::int32_t q = 0; q < mi * mj; ++q) {
+    out.push_back(PatternEntry{
+        q / mj,
+        static_cast<std::int32_t>(positive_mod(q + receiver_offset, mj))});
+  }
+  return out;
+}
+
+std::int32_t rotate_sender_at(std::int32_t mi, std::int32_t mj,
+                              std::int64_t q) {
+  const std::int64_t block = std::lcm<std::int64_t>(mi, mj);
+  return static_cast<std::int32_t>(positive_mod(q + q / block, mi));
+}
+
+std::vector<PatternEntry> rotate_pattern(std::int32_t mi, std::int32_t mj,
+                                         std::int32_t receiver_offset) {
+  AAPC_REQUIRE(mi >= 1 && mj >= 1, "pattern sizes must be positive");
+  std::vector<PatternEntry> out;
+  out.reserve(static_cast<std::size_t>(mi) * mj);
+  for (std::int32_t q = 0; q < mi * mj; ++q) {
+    out.push_back(PatternEntry{
+        rotate_sender_at(mi, mj, q),
+        static_cast<std::int32_t>(positive_mod(q + receiver_offset, mj))});
+  }
+  return out;
+}
+
+}  // namespace aapc::core

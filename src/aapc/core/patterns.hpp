@@ -1,0 +1,52 @@
+// The two inter-subtree realization patterns of §4.3.
+//
+// A group ti → tj owns |Mi| * |Mj| consecutive phases; a *pattern* maps
+// each relative phase q to the (sender-index, receiver-index) pair
+// (t_{i,s} → t_{j,r}) carried out at that phase, covering every pair
+// exactly once.
+//
+//  * broadcast: sender t_{i,k} occupies |Mj| contiguous phases (Lemma 5);
+//    receivers cycle t_{j,0}, t_{j,1}, ....
+//  * rotate: each sender appears once per |Mi| aligned phases and each
+//    receiver once per |Mj| aligned phases (Lemma 6); the sender base
+//    sequence is rotated once at every multiple of lcm(|Mi|, |Mj|).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aapc::core {
+
+struct PatternEntry {
+  std::int32_t sender = -1;    // index within ti
+  std::int32_t receiver = -1;  // index within tj
+
+  friend bool operator==(const PatternEntry&, const PatternEntry&) = default;
+};
+
+/// Broadcast pattern (§4.3): q -> (q / mj, (q + receiver_offset) mod mj).
+/// `receiver_offset` rotates the receiver cycle so it can align with the
+/// designated-receiver convention (Step 4 uses offset 0).
+std::vector<PatternEntry> broadcast_pattern(std::int32_t mi, std::int32_t mj,
+                                            std::int32_t receiver_offset = 0);
+
+/// Rotate pattern (§4.3, Table 2): receivers follow the fixed cycle
+/// (q + receiver_offset) mod mj; senders follow the base sequence
+/// 0..mi-1 rotated once at each multiple of lcm(mi, mj):
+///   sender(q) = (q + q / lcm(mi, mj)) mod mi.
+/// Covers all mi*mj pairs exactly once for any receiver_offset.
+std::vector<PatternEntry> rotate_pattern(std::int32_t mi, std::int32_t mj,
+                                         std::int32_t receiver_offset = 0);
+
+/// Sender index of the rotate pattern at relative phase q (no
+/// materialization; used when groups are walked phase-by-phase).
+std::int32_t rotate_sender_at(std::int32_t mi, std::int32_t mj,
+                              std::int64_t q);
+
+/// Mathematical modulus: result in [0, m) for any x.
+constexpr std::int64_t positive_mod(std::int64_t x, std::int64_t m) {
+  const std::int64_t r = x % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace aapc::core

@@ -1,0 +1,20 @@
+#include "aapc/core/schedule.hpp"
+
+#include <sstream>
+
+namespace aapc::core {
+
+std::string Schedule::to_string(const topology::Topology& topo) const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    os << "phase " << p << ":";
+    for (const Message& m : phases[p]) {
+      os << ' ' << topo.name(topo.machine_node(m.src)) << "->"
+         << topo.name(topo.machine_node(m.dst));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace aapc::core

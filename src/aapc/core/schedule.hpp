@@ -1,0 +1,61 @@
+// Schedule data model: the output of the paper's scheduling algorithm.
+//
+// A Schedule partitions the AAPC pattern {u → v : u ≠ v} into *phases*
+// (contention-free sets of messages, §3). Messages are identified by
+// machine rank; the topology maps ranks back to tree nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::core {
+
+using topology::Rank;
+
+/// One point-to-point transfer u → v between machine ranks.
+struct Message {
+  Rank src = -1;
+  Rank dst = -1;
+
+  friend bool operator==(const Message&, const Message&) = default;
+  friend auto operator<=>(const Message&, const Message&) = default;
+};
+
+/// Whether a scheduled message crosses the root (global) or stays inside
+/// one root-subtree (local) — §4's distinction.
+enum class MessageScope : std::uint8_t { kGlobal, kLocal };
+
+/// A message with its placement metadata (phase and scope), the unit the
+/// synchronization generator works over.
+struct ScheduledMessage {
+  Message message;
+  std::int32_t phase = -1;
+  MessageScope scope = MessageScope::kGlobal;
+
+  friend bool operator==(const ScheduledMessage&,
+                         const ScheduledMessage&) = default;
+};
+
+/// The phase-partitioned AAPC schedule.
+struct Schedule {
+  /// phases[p] lists the messages carried out in phase p.
+  std::vector<std::vector<Message>> phases;
+
+  /// Flat view with scope/phase metadata, in (phase, insertion) order.
+  std::vector<ScheduledMessage> messages;
+
+  std::int32_t phase_count() const {
+    return static_cast<std::int32_t>(phases.size());
+  }
+  std::int64_t message_count() const {
+    return static_cast<std::int64_t>(messages.size());
+  }
+
+  /// Renders "phase p: a->b, c->d" lines for diagnostics and examples.
+  std::string to_string(const topology::Topology& topo) const;
+};
+
+}  // namespace aapc::core

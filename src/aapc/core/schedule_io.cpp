@@ -1,0 +1,162 @@
+#include "aapc/core/schedule_io.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::core {
+
+std::string schedule_to_json(const Schedule& schedule,
+                             std::int32_t machine_count) {
+  std::ostringstream os;
+  os << "{\"machines\":" << machine_count << ",\"phases\":[";
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    if (p > 0) os << ',';
+    os << '[';
+    for (std::size_t i = 0; i < schedule.phases[p].size(); ++i) {
+      if (i > 0) os << ',';
+      const Message& m = schedule.phases[p][i];
+      os << '[' << m.src << ',' << m.dst << ']';
+    }
+    os << ']';
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent reader for exactly the schedule grammar
+/// (objects with known keys, arrays, integers). Not a general JSON
+/// parser by design: unknown keys are rejected so format drift fails
+/// loudly.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_space();
+    AAPC_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                 "schedule JSON: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string key() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      out.push_back(text_[pos_++]);
+    }
+    expect('"');
+    expect(':');
+    return out;
+  }
+
+  std::int64_t integer() {
+    skip_space();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    AAPC_REQUIRE(pos_ < text_.size() &&
+                     std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                 "schedule JSON: expected integer at offset " << pos_);
+    std::int64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_++] - '0');
+    }
+    return negative ? -value : value;
+  }
+
+  void finish() {
+    skip_space();
+    AAPC_REQUIRE(pos_ == text_.size(),
+                 "schedule JSON: trailing content at offset " << pos_);
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Schedule schedule_from_json(std::string_view json,
+                            std::int32_t expected_machines) {
+  Reader reader(json);
+  reader.expect('{');
+  std::int64_t machines = -1;
+  Schedule schedule;
+  bool saw_phases = false;
+  do {
+    const std::string field = reader.key();
+    if (field == "machines") {
+      machines = reader.integer();
+      AAPC_REQUIRE(machines >= 0, "schedule JSON: negative machine count");
+    } else if (field == "phases") {
+      saw_phases = true;
+      reader.expect('[');
+      if (!reader.consume(']')) {
+        do {
+          reader.expect('[');
+          std::vector<Message> phase;
+          if (!reader.consume(']')) {
+            do {
+              reader.expect('[');
+              const std::int64_t src = reader.integer();
+              reader.expect(',');
+              const std::int64_t dst = reader.integer();
+              reader.expect(']');
+              phase.push_back(Message{static_cast<Rank>(src),
+                                      static_cast<Rank>(dst)});
+            } while (reader.consume(','));
+            reader.expect(']');
+          }
+          schedule.phases.push_back(std::move(phase));
+        } while (reader.consume(','));
+        reader.expect(']');
+      }
+    } else {
+      throw InvalidArgument("schedule JSON: unknown field '" + field + "'");
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.finish();
+
+  AAPC_REQUIRE(machines >= 0, "schedule JSON: missing 'machines'");
+  AAPC_REQUIRE(saw_phases, "schedule JSON: missing 'phases'");
+  AAPC_REQUIRE(expected_machines < 0 || machines == expected_machines,
+               "schedule JSON: machine count " << machines << " != expected "
+                                               << expected_machines);
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    for (const Message& m : schedule.phases[p]) {
+      AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
+                       m.dst < machines,
+                   "schedule JSON: rank out of range in phase " << p);
+      schedule.messages.push_back(ScheduledMessage{
+          m, static_cast<std::int32_t>(p), MessageScope::kGlobal});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace aapc::core

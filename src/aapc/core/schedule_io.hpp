@@ -1,0 +1,39 @@
+// Schedule serialization: a small JSON representation so generated
+// schedules can be inspected, stored, diffed, or consumed by external
+// tooling (and so the routine generator can be split into offline
+// schedule generation + online execution).
+//
+// Format:
+//   {
+//     "machines": 6,
+//     "phases": [
+//       [[0,4],[3,5],[1,0]],      // phase 0: messages [src,dst]
+//       ...
+//     ]
+//   }
+//
+// Message scopes are reconstructed on load when a decomposition is
+// available; the flat `messages` list is rebuilt in phase order with
+// scope kGlobal (scope is advisory metadata only — verification and
+// lowering derive everything else from the topology).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "aapc/core/schedule.hpp"
+
+namespace aapc::core {
+
+/// Serialize to the JSON format above (stable field order, no
+/// whitespace dependence for parsing).
+std::string schedule_to_json(const Schedule& schedule,
+                             std::int32_t machine_count);
+
+/// Parse a schedule from JSON; throws InvalidArgument on malformed
+/// input or ranks outside [0, machines). The embedded machine count
+/// must match `expected_machines` when that is >= 0.
+Schedule schedule_from_json(std::string_view json,
+                            std::int32_t expected_machines = -1);
+
+}  // namespace aapc::core

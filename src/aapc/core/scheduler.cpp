@@ -1,0 +1,27 @@
+#include "aapc/core/scheduler.hpp"
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::core {
+
+Schedule build_aapc_schedule(const topology::Topology& topo,
+                             const SchedulerOptions& options) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const std::int32_t machines = topo.machine_count();
+  if (machines <= 1) {
+    return Schedule{};
+  }
+  if (machines == 2) {
+    Schedule schedule;
+    schedule.phases.resize(1);
+    schedule.phases[0] = {Message{0, 1}, Message{1, 0}};
+    schedule.messages = {
+        ScheduledMessage{Message{0, 1}, 0, MessageScope::kGlobal},
+        ScheduledMessage{Message{1, 0}, 0, MessageScope::kGlobal}};
+    return schedule;
+  }
+  const Decomposition dec = decompose(topo);
+  return assign_messages(dec, options.assignment);
+}
+
+}  // namespace aapc::core

@@ -1,0 +1,44 @@
+// Schedule statistics: quantifies how "full" a phase schedule is —
+// useful for understanding why topologies differ (a single switch keeps
+// every machine busy every phase; a chain leaves subtrees idle while
+// the trunk serializes) and for regression-testing schedule shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aapc/core/schedule.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::core {
+
+struct ScheduleStats {
+  std::int32_t phase_count = 0;
+  std::int64_t message_count = 0;
+
+  /// Messages per phase.
+  double avg_messages_per_phase = 0;
+  std::int32_t min_messages_per_phase = 0;
+  std::int32_t max_messages_per_phase = 0;
+
+  /// Fraction of (machine, phase) slots where the machine sends, and
+  /// where it receives. 1.0 = perfectly dense (every machine busy every
+  /// phase), the single-switch case.
+  double send_occupancy = 0;
+  double receive_occupancy = 0;
+
+  /// Bottleneck-link utilization: the fraction of phases in which the
+  /// bottleneck link carries a message (per direction, averaged). The
+  /// optimal schedule keeps this at 1.0 — that is what makes it achieve
+  /// the §3 peak.
+  double bottleneck_phase_utilization = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes the statistics of any schedule over `topo` (works for
+/// non-optimal and partial schedules too).
+ScheduleStats compute_schedule_stats(const topology::Topology& topo,
+                                     const Schedule& schedule);
+
+}  // namespace aapc::core

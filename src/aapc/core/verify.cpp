@@ -1,0 +1,173 @@
+#include "aapc/core/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/strings.hpp"
+
+namespace aapc::core {
+
+std::string VerifyReport::summary() const {
+  if (ok) return "schedule OK";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const std::string& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+VerifyReport verify_schedule(const topology::Topology& topo,
+                             const Schedule& schedule,
+                             const VerifyOptions& options) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const std::int32_t machines = topo.machine_count();
+  VerifyReport report;
+  auto violate = [&](std::string text) {
+    report.ok = false;
+    report.violations.push_back(std::move(text));
+  };
+
+  // (1) exact coverage of the AAPC pattern.
+  std::vector<std::int32_t> seen(
+      static_cast<std::size_t>(machines) * machines, 0);
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    for (const Message& m : schedule.phases[p]) {
+      AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
+                       m.dst < machines,
+                   "message rank out of range in phase " << p);
+      if (m.src == m.dst) {
+        violate(str_cat("self message ", m.src, "->", m.dst, " in phase ", p));
+        continue;
+      }
+      seen[static_cast<std::size_t>(m.src) * machines + m.dst] += 1;
+    }
+  }
+  for (std::int32_t s = 0; s < machines; ++s) {
+    for (std::int32_t d = 0; d < machines; ++d) {
+      if (s == d) continue;
+      const std::int32_t count =
+          seen[static_cast<std::size_t>(s) * machines + d];
+      if (count != 1) {
+        violate(str_cat("message ", s, "->", d, " appears ", count,
+                        " times (want 1)"));
+      }
+    }
+  }
+
+  // (2) intra-phase contention: count per-directed-edge usage.
+  std::vector<std::int32_t> edge_use(
+      static_cast<std::size_t>(topo.directed_edge_count()), 0);
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    std::fill(edge_use.begin(), edge_use.end(), 0);
+    for (const Message& m : schedule.phases[p]) {
+      if (m.src == m.dst) continue;
+      const auto path =
+          topo.path(topo.machine_node(m.src), topo.machine_node(m.dst));
+      for (const topology::EdgeId e : path) {
+        edge_use[static_cast<std::size_t>(e)] += 1;
+      }
+    }
+    for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
+      const std::int32_t use = edge_use[static_cast<std::size_t>(e)];
+      report.max_edge_multiplicity =
+          std::max(report.max_edge_multiplicity, use);
+      if (use > 1) {
+        violate(str_cat("phase ", p, ": edge ",
+                        topo.name(topo.edge_source(e)), "->",
+                        topo.name(topo.edge_target(e)), " carries ", use,
+                        " messages"));
+      }
+    }
+  }
+
+  // (3) optimal phase count.
+  if (options.require_optimal_phase_count && machines >= 2) {
+    const std::int64_t load = topo.aapc_load();
+    if (schedule.phase_count() != load) {
+      violate(str_cat("phase count ", schedule.phase_count(),
+                      " != AAPC load ", load));
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_schedule_pattern(const topology::Topology& topo,
+                                     const Schedule& schedule,
+                                     const std::vector<Message>& expected,
+                                     const VerifyOptions& options) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const std::int32_t machines = topo.machine_count();
+  VerifyReport report;
+  auto violate = [&](std::string text) {
+    report.ok = false;
+    report.violations.push_back(std::move(text));
+  };
+
+  // (1) multiset coverage: scheduled counts == expected counts per pair.
+  std::vector<std::int64_t> want(
+      static_cast<std::size_t>(machines) * machines, 0);
+  for (const Message& m : expected) {
+    AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
+                     m.dst < machines && m.src != m.dst,
+                 "malformed expected message");
+    want[static_cast<std::size_t>(m.src) * machines + m.dst] += 1;
+  }
+  std::vector<std::int64_t> have(want.size(), 0);
+  std::vector<std::int32_t> edge_use(
+      static_cast<std::size_t>(topo.directed_edge_count()), 0);
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    std::fill(edge_use.begin(), edge_use.end(), 0);
+    for (const Message& m : schedule.phases[p]) {
+      AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
+                       m.dst < machines && m.src != m.dst,
+                   "message rank out of range in phase " << p);
+      have[static_cast<std::size_t>(m.src) * machines + m.dst] += 1;
+      for (const topology::EdgeId e :
+           topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+        edge_use[static_cast<std::size_t>(e)] += 1;
+      }
+    }
+    for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
+      const std::int32_t use = edge_use[static_cast<std::size_t>(e)];
+      report.max_edge_multiplicity =
+          std::max(report.max_edge_multiplicity, use);
+      if (use > 1) {
+        violate(str_cat("phase ", p, ": edge ",
+                        topo.name(topo.edge_source(e)), "->",
+                        topo.name(topo.edge_target(e)), " carries ", use,
+                        " messages"));
+      }
+    }
+  }
+  for (std::int32_t s = 0; s < machines; ++s) {
+    for (std::int32_t d = 0; d < machines; ++d) {
+      const std::size_t index = static_cast<std::size_t>(s) * machines + d;
+      if (have[index] != want[index]) {
+        violate(str_cat("message ", s, "->", d, " scheduled ", have[index],
+                        " times (pattern wants ", want[index], ")"));
+      }
+    }
+  }
+
+  if (options.require_optimal_phase_count) {
+    // For arbitrary patterns the lower bound is the pattern load.
+    std::vector<std::int64_t> edge_load(
+        static_cast<std::size_t>(topo.directed_edge_count()), 0);
+    for (const Message& m : expected) {
+      for (const topology::EdgeId e :
+           topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+        edge_load[static_cast<std::size_t>(e)] += 1;
+      }
+    }
+    std::int64_t load = 0;
+    for (const std::int64_t l : edge_load) load = std::max(load, l);
+    if (schedule.phase_count() < load) {
+      violate(str_cat("phase count ", schedule.phase_count(),
+                      " below the pattern load ", load,
+                      " — the schedule cannot be contention-free"));
+    }
+  }
+  return report;
+}
+
+}  // namespace aapc::core

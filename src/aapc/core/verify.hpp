@@ -1,0 +1,55 @@
+// Independent schedule verifier.
+//
+// Checks the three §4 conditions directly against the topology, using
+// nothing from the construction code (paths are recomputed from the
+// tree):
+//   (1) every AAPC message appears exactly once across the phases;
+//   (2) no two messages within a phase share a directed edge;
+//   (3) the number of phases equals the AAPC load of the topology
+//       (optimality — optional, since non-optimal schedules from the
+//       baselines can also be checked for (1) and (2)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aapc/core/schedule.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::core {
+
+struct VerifyOptions {
+  /// Also require phase_count == topo.aapc_load().
+  bool require_optimal_phase_count = true;
+};
+
+struct VerifyReport {
+  bool ok = true;
+  /// Human-readable description of each violation found (empty when ok).
+  std::vector<std::string> violations;
+
+  /// Maximum number of messages crossing any directed edge within a
+  /// single phase (1 for a contention-free schedule).
+  std::int32_t max_edge_multiplicity = 0;
+
+  std::string summary() const;
+};
+
+/// Verify `schedule` against `topo`. Never throws on a bad schedule —
+/// all problems are reported; throws only on malformed inputs (ranks out
+/// of range).
+VerifyReport verify_schedule(const topology::Topology& topo,
+                             const Schedule& schedule,
+                             const VerifyOptions& options = {});
+
+/// Verify a schedule of an arbitrary message multiset (greedy/irregular
+/// schedules): condition (1) becomes "realizes `expected` exactly, as a
+/// multiset"; condition (2) is unchanged; condition (3) compares the
+/// phase count against the pattern load lower bound when
+/// require_optimal_phase_count is set.
+VerifyReport verify_schedule_pattern(const topology::Topology& topo,
+                                     const Schedule& schedule,
+                                     const std::vector<Message>& expected,
+                                     const VerifyOptions& options = {});
+
+}  // namespace aapc::core

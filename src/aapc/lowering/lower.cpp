@@ -1,0 +1,226 @@
+#include "aapc/lowering/lower.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/strings.hpp"
+
+namespace aapc::lowering {
+
+using mpisim::Op;
+using mpisim::Program;
+using mpisim::ProgramSet;
+using mpisim::RequestId;
+using mpisim::Tag;
+
+namespace {
+
+constexpr Tag kDataTag = 0;
+
+/// Emit helper tracking request ids per rank (requests are numbered in
+/// posting order, mirroring the executor's bookkeeping).
+struct RankEmitter {
+  Program program;
+  RequestId next_request = 0;
+
+  RequestId isend(core::Rank peer, Bytes bytes, Tag tag) {
+    program.ops.push_back(Op::isend(peer, bytes, tag));
+    return next_request++;
+  }
+  RequestId irecv(core::Rank peer, Bytes bytes, Tag tag) {
+    program.ops.push_back(Op::irecv(peer, bytes, tag));
+    return next_request++;
+  }
+  void wait(RequestId request) { program.ops.push_back(Op::wait(request)); }
+  void wait_all() { program.ops.push_back(Op::wait_all()); }
+  void barrier() { program.ops.push_back(Op::barrier()); }
+  void copy(Bytes bytes) { program.ops.push_back(Op::copy(bytes)); }
+};
+
+/// Size of the data message src -> dst (diagonal = self-copy size).
+using SizeFn = std::function<Bytes(core::Rank, core::Rank)>;
+
+ProgramSet lower_barrier_mode(const topology::Topology& topo,
+                              const core::Schedule& schedule,
+                              const SizeFn& bytes_for,
+                              const LoweringOptions& options,
+                              LoweringInfo* info) {
+  const std::int32_t ranks = topo.machine_count();
+  std::vector<RankEmitter> emit(static_cast<std::size_t>(ranks));
+  if (options.include_self_copy) {
+    for (core::Rank r = 0; r < ranks; ++r) {
+      emit[r].copy(bytes_for(r, r));
+    }
+  }
+  for (const auto& phase : schedule.phases) {
+    // Post this phase's operations, wait them, then a global barrier.
+    std::vector<std::pair<core::Rank, RequestId>> to_wait;
+    for (const core::Message& m : phase) {
+      const Bytes bytes = bytes_for(m.src, m.dst);
+      to_wait.emplace_back(m.dst,
+                           emit[m.dst].irecv(m.src, bytes, kDataTag));
+      to_wait.emplace_back(m.src,
+                           emit[m.src].isend(m.dst, bytes, kDataTag));
+      if (info != nullptr) ++info->data_messages;
+    }
+    for (const auto& [rank, request] : to_wait) {
+      emit[rank].wait(request);
+    }
+    for (auto& e : emit) e.barrier();
+  }
+  ProgramSet set;
+  set.name = "ours-barrier";
+  for (auto& e : emit) set.programs.push_back(std::move(e.program));
+  return set;
+}
+
+ProgramSet lower_with_sizes(const topology::Topology& topo,
+                            const core::Schedule& schedule,
+                            const SizeFn& bytes_for,
+                            const LoweringOptions& options,
+                            LoweringInfo* info) {
+
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+
+  if (options.sync == SyncMode::kBarrier) {
+    return lower_barrier_mode(topo, schedule, bytes_for, options, info);
+  }
+
+  const std::int32_t ranks = topo.machine_count();
+  const auto n = static_cast<std::size_t>(schedule.messages.size());
+
+  // Synchronization plan (empty in kNone mode).
+  sync::SyncPlan plan;
+  if (options.sync == SyncMode::kPairwise) {
+    sync::SyncPlanOptions plan_options;
+    plan_options.remove_redundant = options.reduce_redundant_syncs;
+    plan = sync::build_sync_plan(topo, schedule, plan_options);
+  }
+  if (info != nullptr) {
+    info->sync_edges_before_reduction = plan.edges_before_reduction;
+  }
+
+  // Incoming sync edges per message, and outgoing per message.
+  std::vector<std::vector<std::int32_t>> in_edges(n);
+  std::vector<std::vector<std::int32_t>> out_edges(n);
+  for (const sync::SyncEdge& e : plan.edges) {
+    in_edges[static_cast<std::size_t>(e.to)].push_back(e.from);
+    out_edges[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+
+  std::vector<RankEmitter> emit(static_cast<std::size_t>(ranks));
+  if (options.include_self_copy) {
+    for (core::Rank r = 0; r < ranks; ++r) {
+      emit[r].copy(bytes_for(r, r));
+    }
+  }
+
+  // Prepost every data receive in phase order (messages are
+  // phase-sorted).
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::Message& m = schedule.messages[i].message;
+    emit[m.dst].irecv(m.src, bytes_for(m.src, m.dst), kDataTag);
+    if (info != nullptr) ++info->data_messages;
+  }
+
+  // Data send request id per message (assigned when emitted).
+  std::vector<RequestId> send_request(n, -1);
+  // Unique token tag per sync edge: index into plan.edges.
+  auto sync_tag = [&](std::size_t edge_index) -> Tag {
+    return mpisim::kSyncTag + static_cast<Tag>(edge_index);
+  };
+  // Map (from, to) -> edge index for tag lookup.
+  auto edge_index_of = [&](std::int32_t from, std::int32_t to) {
+    const auto it = std::lower_bound(
+        plan.edges.begin(), plan.edges.end(), sync::SyncEdge{from, to});
+    AAPC_CHECK(it != plan.edges.end() && it->from == from && it->to == to);
+    return static_cast<std::size_t>(it - plan.edges.begin());
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::Message& m = schedule.messages[i].message;
+    RankEmitter& sender = emit[m.src];
+    // Incoming dependencies: my predecessors must complete first.
+    for (const std::int32_t from : in_edges[i]) {
+      const core::Message& prev =
+          schedule.messages[static_cast<std::size_t>(from)].message;
+      if (prev.src == m.src) {
+        // Same sender: program order + a local wait suffice.
+        AAPC_CHECK(send_request[static_cast<std::size_t>(from)] >= 0);
+        sender.wait(send_request[static_cast<std::size_t>(from)]);
+        if (info != nullptr) ++info->local_wait_dependencies;
+      } else {
+        // Pair-wise synchronization: wait for the token from prev's
+        // sender.
+        const std::size_t edge = edge_index_of(from, static_cast<std::int32_t>(i));
+        const RequestId token = sender.irecv(
+            prev.src, options.sync_message_bytes, sync_tag(edge));
+        sender.wait(token);
+      }
+    }
+    send_request[i] = sender.isend(m.dst, bytes_for(m.src, m.dst), kDataTag);
+    // Outgoing cross-node dependencies: complete my message, then send
+    // one token per dependent sender.
+    bool waited = false;
+    for (const std::int32_t to : out_edges[i]) {
+      const core::Message& next =
+          schedule.messages[static_cast<std::size_t>(to)].message;
+      if (next.src == m.src) continue;  // lowered as their local wait
+      if (!waited) {
+        sender.wait(send_request[i]);
+        waited = true;
+      }
+      const std::size_t edge = edge_index_of(static_cast<std::int32_t>(i), to);
+      sender.isend(next.src, options.sync_message_bytes, sync_tag(edge));
+      if (info != nullptr) ++info->sync_messages;
+    }
+  }
+
+  for (auto& e : emit) e.wait_all();
+
+  ProgramSet set;
+  set.name = options.sync == SyncMode::kPairwise ? "ours" : "ours-nosync";
+  for (auto& e : emit) set.programs.push_back(std::move(e.program));
+  return set;
+}
+
+}  // namespace
+
+ProgramSet lower_schedule(const topology::Topology& topo,
+                          const core::Schedule& schedule, Bytes msize,
+                          const LoweringOptions& options,
+                          LoweringInfo* info) {
+  AAPC_REQUIRE(msize >= 1, "message size must be positive");
+  return lower_with_sizes(
+      topo, schedule,
+      [msize](core::Rank, core::Rank) { return msize; }, options, info);
+}
+
+ProgramSet lower_schedule_irregular(const topology::Topology& topo,
+                                    const core::Schedule& schedule,
+                                    const std::vector<Bytes>& size_matrix,
+                                    const LoweringOptions& options,
+                                    LoweringInfo* info) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const auto machines = static_cast<std::size_t>(topo.machine_count());
+  AAPC_REQUIRE(size_matrix.size() == machines * machines,
+               "size matrix must be |M| x |M| = " << machines * machines
+                                                  << " entries, got "
+                                                  << size_matrix.size());
+  ProgramSet set = lower_with_sizes(
+      topo, schedule,
+      [&](core::Rank src, core::Rank dst) {
+        // The executor models flows, not buffers; zero-byte pairs keep
+        // a minimal 1-byte message so matching and synchronization
+        // semantics are identical to a real Alltoallv with empty slots.
+        const Bytes bytes =
+            size_matrix[static_cast<std::size_t>(src) * machines + dst];
+        return bytes > 0 ? bytes : Bytes{1};
+      },
+      options, info);
+  set.name += "-irregular";
+  return set;
+}
+
+}  // namespace aapc::lowering

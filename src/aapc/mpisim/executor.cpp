@@ -1,0 +1,335 @@
+#include "aapc/mpisim/executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/log.hpp"
+#include "aapc/common/rng.hpp"
+
+namespace aapc::mpisim {
+
+namespace {
+
+enum class RankState : std::uint8_t {
+  kRunnable,
+  kWait,      // blocked on one request
+  kWaitAll,   // blocked on all requests posted so far
+  kBarrier,   // arrived at a barrier
+  kDone,
+};
+
+struct Request {
+  bool is_send = false;
+  Rank peer = -1;
+  Bytes bytes = 0;
+  Tag tag = 0;
+  SimTime post_ready = 0;  // rank clock when the post finished
+  bool matched = false;
+  bool complete = false;
+  SimTime completion = 0;
+};
+
+struct RankCtx {
+  std::size_t pc = 0;
+  SimTime clock = 0;
+  RankState state = RankState::kRunnable;
+  RequestId wait_target = -1;  // for kWait
+  std::vector<Request> requests;
+};
+
+/// Key for matching: (sender rank, receiver rank, tag).
+using MatchKey = std::tuple<Rank, Rank, Tag>;
+
+struct PendingPost {
+  Rank rank;        // posting rank
+  RequestId request;
+};
+
+struct FlowBinding {
+  Rank send_rank;
+  RequestId send_request;
+  Rank recv_rank;
+  RequestId recv_request;
+  std::int64_t trace_index = -1;
+};
+
+}  // namespace
+
+Executor::Executor(const topology::Topology& topo,
+                   const simnet::NetworkParams& net,
+                   const ExecutorParams& exec)
+    : topo_(topo), net_params_(net), exec_params_(exec) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  AAPC_REQUIRE(exec.memcpy_bandwidth_bytes_per_sec > 0, "memcpy bw <= 0");
+}
+
+ExecutionResult Executor::run(const ProgramSet& set) {
+  const std::int32_t ranks = topo_.machine_count();
+  AAPC_REQUIRE(set.rank_count() == ranks,
+               "program set '" << set.name << "' has " << set.rank_count()
+                               << " programs for " << ranks << " machines");
+
+  simnet::FluidNetwork network(topo_, net_params_);
+  std::vector<RankCtx> ctx(static_cast<std::size_t>(ranks));
+  // Deterministic per-rank OS-noise streams (see ExecutorParams).
+  std::vector<Rng> jitter;
+  jitter.reserve(static_cast<std::size_t>(ranks));
+  for (Rank r = 0; r < ranks; ++r) {
+    jitter.emplace_back(exec_params_.jitter_seed +
+                        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r + 1));
+  }
+  auto wakeup_jitter = [&](Rank r) -> SimTime {
+    return exec_params_.wakeup_jitter_max > 0
+               ? jitter[static_cast<std::size_t>(r)].next_double() *
+                     exec_params_.wakeup_jitter_max
+               : 0.0;
+  };
+  std::map<MatchKey, std::deque<PendingPost>> unmatched_sends;
+  std::map<MatchKey, std::deque<PendingPost>> unmatched_recvs;
+  std::map<simnet::FlowId, FlowBinding> flow_bindings;
+  std::int32_t barrier_arrivals = 0;
+  std::int32_t done_count = 0;
+
+  ExecutionResult result;
+  result.rank_finish.assign(static_cast<std::size_t>(ranks), 0);
+
+  auto make_flow = [&](Rank send_rank, RequestId send_req, Rank recv_rank,
+                       RequestId recv_req) {
+    Request& send = ctx[send_rank].requests[send_req];
+    Request& recv = ctx[recv_rank].requests[recv_req];
+    AAPC_CHECK(send.bytes == recv.bytes);
+    send.matched = true;
+    recv.matched = true;
+    const SimTime start = std::max(send.post_ready, recv.post_ready);
+    const simnet::FlowId flow =
+        network.add_flow(topo_.machine_node(send_rank),
+                         topo_.machine_node(recv_rank), send.bytes, start);
+    std::int64_t trace_index = -1;
+    if (exec_params_.record_trace) {
+      trace_index = static_cast<std::int64_t>(result.trace.size());
+      result.trace.push_back(MessageTrace{
+          send_rank, recv_rank, send.bytes, send.tag, start, 0, 0,
+          send.tag >= kSyncTag});
+    }
+    flow_bindings[flow] =
+        FlowBinding{send_rank, send_req, recv_rank, recv_req, trace_index};
+    result.network_bytes += static_cast<double>(send.bytes);
+    ++result.message_count;
+  };
+
+  auto request_complete = [&](const RankCtx& rank_ctx, RequestId id) {
+    return rank_ctx.requests[static_cast<std::size_t>(id)].complete;
+  };
+
+  // Executes ops of rank r until it blocks or finishes. Returns true if
+  // any op executed (progress).
+  auto step_rank = [&](Rank r) -> bool {
+    RankCtx& c = ctx[static_cast<std::size_t>(r)];
+    bool progressed = false;
+    while (true) {
+      // Re-check blocking conditions.
+      if (c.state == RankState::kDone || c.state == RankState::kBarrier) {
+        return progressed;
+      }
+      if (c.state == RankState::kWait) {
+        const Request& req =
+            c.requests[static_cast<std::size_t>(c.wait_target)];
+        if (!req.complete) return progressed;
+        c.clock = std::max(c.clock, req.completion) + wakeup_jitter(r);
+        c.state = RankState::kRunnable;
+        progressed = true;
+      }
+      if (c.state == RankState::kWaitAll) {
+        SimTime latest = c.clock;
+        for (const Request& req : c.requests) {
+          if (!req.complete) return progressed;
+          latest = std::max(latest, req.completion);
+        }
+        c.clock = latest + wakeup_jitter(r);
+        c.state = RankState::kRunnable;
+        progressed = true;
+      }
+      const Program& program = set.programs[static_cast<std::size_t>(r)];
+      if (c.pc >= program.ops.size()) {
+        c.state = RankState::kDone;
+        result.rank_finish[static_cast<std::size_t>(r)] = c.clock;
+        ++done_count;
+        return true;
+      }
+      const Op& op = program.ops[c.pc];
+      switch (op.kind) {
+        case OpKind::kIsend: {
+          AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
+                       "rank " << r << ": bad isend peer " << op.peer);
+          c.clock += net_params_.send_overhead;
+          const auto id = static_cast<RequestId>(c.requests.size());
+          c.requests.push_back(Request{true, op.peer, op.bytes, op.tag,
+                                       c.clock, false, false, 0});
+          const MatchKey key{r, op.peer, op.tag};
+          auto& recvs = unmatched_recvs[key];
+          if (!recvs.empty()) {
+            const PendingPost recv = recvs.front();
+            recvs.pop_front();
+            make_flow(r, id, recv.rank, recv.request);
+          } else {
+            unmatched_sends[key].push_back(PendingPost{r, id});
+          }
+          ++c.pc;
+          break;
+        }
+        case OpKind::kIrecv: {
+          AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
+                       "rank " << r << ": bad irecv peer " << op.peer);
+          c.clock += net_params_.recv_overhead;
+          const auto id = static_cast<RequestId>(c.requests.size());
+          c.requests.push_back(Request{false, op.peer, op.bytes, op.tag,
+                                       c.clock, false, false, 0});
+          const MatchKey key{op.peer, r, op.tag};
+          auto& sends = unmatched_sends[key];
+          if (!sends.empty()) {
+            const PendingPost send = sends.front();
+            sends.pop_front();
+            make_flow(send.rank, send.request, r, id);
+          } else {
+            unmatched_recvs[key].push_back(PendingPost{r, id});
+          }
+          ++c.pc;
+          break;
+        }
+        case OpKind::kWait: {
+          AAPC_REQUIRE(op.request >= 0 &&
+                           op.request <
+                               static_cast<RequestId>(c.requests.size()),
+                       "rank " << r << ": wait on unposted request "
+                               << op.request);
+          ++c.pc;
+          if (request_complete(c, op.request)) {
+            c.clock = std::max(
+                c.clock,
+                c.requests[static_cast<std::size_t>(op.request)].completion);
+          } else {
+            c.state = RankState::kWait;
+            c.wait_target = op.request;
+          }
+          break;
+        }
+        case OpKind::kWaitAll: {
+          ++c.pc;
+          c.state = RankState::kWaitAll;
+          break;  // the loop head resolves it (possibly immediately)
+        }
+        case OpKind::kBarrier: {
+          ++c.pc;
+          c.state = RankState::kBarrier;
+          ++barrier_arrivals;
+          break;
+        }
+        case OpKind::kCopy: {
+          c.clock += static_cast<double>(op.bytes) /
+                     exec_params_.memcpy_bandwidth_bytes_per_sec;
+          ++c.pc;
+          break;
+        }
+      }
+      progressed = true;
+    }
+  };
+
+  auto release_barrier_if_ready = [&]() -> bool {
+    if (barrier_arrivals < ranks - done_count || barrier_arrivals == 0) {
+      return false;
+    }
+    // All live ranks arrived. (Programs must all contain the barrier;
+    // done ranks having exited earlier would be a malformed program set
+    // that shows up as a deadlock below.)
+    SimTime latest = 0;
+    for (const RankCtx& c : ctx) {
+      if (c.state == RankState::kBarrier) latest = std::max(latest, c.clock);
+    }
+    const SimTime release = latest + net_params_.barrier_latency;
+    for (Rank r = 0; r < ranks; ++r) {
+      RankCtx& c = ctx[static_cast<std::size_t>(r)];
+      if (c.state == RankState::kBarrier) {
+        c.clock = release + wakeup_jitter(r);
+        c.state = RankState::kRunnable;
+      }
+    }
+    barrier_arrivals = 0;
+    return true;
+  };
+
+  std::vector<simnet::FlowId> completed;
+  while (done_count < ranks) {
+    // 1. Let every rank run as far as it can.
+    bool progressed = false;
+    for (Rank r = 0; r < ranks; ++r) {
+      progressed = step_rank(r) || progressed;
+    }
+    if (progressed) continue;
+    // 2. Barrier release?
+    if (release_barrier_if_ready()) continue;
+    // 3. Advance the network to its next event.
+    const SimTime next = network.next_event_time();
+    if (next == simnet::kNever) {
+      std::ostringstream os;
+      os << "deadlock in program set '" << set.name << "':";
+      for (Rank r = 0; r < ranks; ++r) {
+        const RankCtx& c = ctx[static_cast<std::size_t>(r)];
+        os << "\n  rank " << r << ": pc=" << c.pc << " state="
+           << static_cast<int>(c.state) << " requests=" << c.requests.size();
+      }
+      throw InvalidArgument(os.str());
+    }
+    completed.clear();
+    network.advance_to(next, completed);
+    for (const simnet::FlowId flow : completed) {
+      const auto it = flow_bindings.find(flow);
+      AAPC_CHECK(it != flow_bindings.end());
+      const FlowBinding& binding = it->second;
+      const SimTime drained = network.now();
+      Request& send = ctx[static_cast<std::size_t>(binding.send_rank)]
+                          .requests[static_cast<std::size_t>(
+                              binding.send_request)];
+      Request& recv = ctx[static_cast<std::size_t>(binding.recv_rank)]
+                          .requests[static_cast<std::size_t>(
+                              binding.recv_request)];
+      send.complete = true;
+      send.completion = drained;
+      recv.complete = true;
+      recv.completion =
+          drained + net_params_.per_hop_latency * network.flow_hops(flow);
+      if (recv.bytes <= net_params_.small_message_threshold) {
+        recv.completion += net_params_.small_message_extra_latency;
+      }
+      if (binding.trace_index >= 0) {
+        MessageTrace& record =
+            result.trace[static_cast<std::size_t>(binding.trace_index)];
+        record.end = drained;
+        record.delivered = recv.completion;
+      }
+      flow_bindings.erase(it);
+    }
+  }
+
+  // Leftover unmatched posts indicate a malformed algorithm.
+  for (const auto& [key, queue] : unmatched_sends) {
+    AAPC_REQUIRE(queue.empty(), "program set '"
+                                    << set.name << "' finished with "
+                                    << queue.size() << " unmatched send(s)");
+  }
+  for (const auto& [key, queue] : unmatched_recvs) {
+    AAPC_REQUIRE(queue.empty(), "program set '"
+                                    << set.name << "' finished with "
+                                    << queue.size() << " unmatched recv(s)");
+  }
+
+  result.completion_time =
+      *std::max_element(result.rank_finish.begin(), result.rank_finish.end());
+  result.network_stats = network.stats();
+  return result;
+}
+
+}  // namespace aapc::mpisim

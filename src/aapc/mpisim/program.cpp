@@ -1,0 +1,44 @@
+#include "aapc/mpisim/program.hpp"
+
+#include <sstream>
+
+namespace aapc::mpisim {
+
+std::int32_t Program::request_count() const {
+  std::int32_t count = 0;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kIsend || op.kind == OpKind::kIrecv) ++count;
+  }
+  return count;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kIsend:
+        os << "isend(peer=" << op.peer << ", bytes=" << op.bytes
+           << ", tag=" << op.tag << ")\n";
+        break;
+      case OpKind::kIrecv:
+        os << "irecv(peer=" << op.peer << ", bytes=" << op.bytes
+           << ", tag=" << op.tag << ")\n";
+        break;
+      case OpKind::kWait:
+        os << "wait(" << op.request << ")\n";
+        break;
+      case OpKind::kWaitAll:
+        os << "waitall()\n";
+        break;
+      case OpKind::kBarrier:
+        os << "barrier()\n";
+        break;
+      case OpKind::kCopy:
+        os << "copy(bytes=" << op.bytes << ")\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace aapc::mpisim

@@ -1,0 +1,81 @@
+// Rank programs: the executable form of a communication algorithm.
+//
+// Every AAPC implementation in this repo — the generated routine, the
+// LAM/MPI baseline, the MPICH baselines — is expressed as one static
+// operation list per rank, mirroring how the paper's routine generator
+// emits code built from MPI point-to-point primitives (§5). A static
+// representation keeps the simulation deterministic and doubles as the
+// input of the C code generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aapc/common/units.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::mpisim {
+
+using topology::Rank;
+
+/// Message tag. Data messages use the algorithm's tag space; programs
+/// built by this repo reserve kSyncTag for pair-wise synchronization.
+using Tag = std::int32_t;
+inline constexpr Tag kSyncTag = 1 << 20;
+
+/// Request handle: index into the issuing rank's request table, in
+/// posting order (0 = first ISEND/IRECV posted by that rank).
+using RequestId = std::int32_t;
+
+enum class OpKind : std::uint8_t {
+  kIsend,    // post nonblocking send(peer, bytes, tag)
+  kIrecv,    // post nonblocking recv(peer, bytes, tag)
+  kWait,     // block until request `request` completes
+  kWaitAll,  // block until every request posted so far completes
+  kBarrier,  // block until all ranks reach their matching barrier
+  kCopy,     // local memcpy of `bytes` (the rank's own AAPC block)
+};
+
+struct Op {
+  OpKind kind;
+  Rank peer = -1;        // kIsend/kIrecv
+  Bytes bytes = 0;       // kIsend/kIrecv/kCopy
+  Tag tag = 0;           // kIsend/kIrecv
+  RequestId request = -1;  // kWait
+
+  static Op isend(Rank peer, Bytes bytes, Tag tag) {
+    return Op{OpKind::kIsend, peer, bytes, tag, -1};
+  }
+  static Op irecv(Rank peer, Bytes bytes, Tag tag) {
+    return Op{OpKind::kIrecv, peer, bytes, tag, -1};
+  }
+  static Op wait(RequestId request) {
+    return Op{OpKind::kWait, -1, 0, 0, request};
+  }
+  static Op wait_all() { return Op{OpKind::kWaitAll, -1, 0, 0, -1}; }
+  static Op barrier() { return Op{OpKind::kBarrier, -1, 0, 0, -1}; }
+  static Op copy(Bytes bytes) { return Op{OpKind::kCopy, -1, bytes, 0, -1}; }
+};
+
+/// One rank's operation list.
+struct Program {
+  std::vector<Op> ops;
+
+  /// Number of requests this program posts (isend + irecv count).
+  std::int32_t request_count() const;
+
+  std::string to_string() const;
+};
+
+/// An algorithm instance: one program per rank, plus a display name.
+struct ProgramSet {
+  std::string name;
+  std::vector<Program> programs;  // index == rank
+
+  std::int32_t rank_count() const {
+    return static_cast<std::int32_t>(programs.size());
+  }
+};
+
+}  // namespace aapc::mpisim

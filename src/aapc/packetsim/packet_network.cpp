@@ -1,0 +1,287 @@
+#include "aapc/packetsim/packet_network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::packetsim {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kInject,    // sender puts segment (a=message, b=segment) on its uplink
+  kDequeue,   // edge (a) finished serializing its head segment
+  kTimeout,   // retransmit check for (a=message, b=segment)
+};
+
+struct Event {
+  SimTime time;
+  std::int64_t sequence;  // tie-break: deterministic FIFO ordering
+  EventKind kind;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  friend bool operator>(const Event& lhs, const Event& rhs) {
+    if (lhs.time != rhs.time) return lhs.time > rhs.time;
+    return lhs.sequence > rhs.sequence;
+  }
+};
+
+struct Segment {
+  std::int32_t message;
+  std::int32_t segment;
+  std::int32_t hop;  // index into the message's path
+};
+
+enum class SegmentState : std::uint8_t { kUnsent, kInflight, kDelivered };
+
+struct MessageState {
+  std::vector<topology::EdgeId> path;
+  std::int32_t total_segments = 0;
+  std::int32_t delivered = 0;
+  /// Congestion window (AIMD mode); fixed at window_segments otherwise.
+  double cwnd = 0;
+  /// Out-of-order deliveries since `base` last advanced (AIMD fast
+  /// retransmit after 3, the dup-ack analogue).
+  std::int32_t dup_deliveries = 0;
+  /// Lowest undelivered segment: the window is [base, base + W). A
+  /// dropped base segment stalls the flow until its retransmission
+  /// lands — the mechanism behind incast timeout collapse.
+  std::int32_t base = 0;
+  std::int32_t next_unsent = 0;
+  std::vector<SegmentState> state;
+  SimTime last_delivery = 0;
+  Bytes last_segment_payload = 0;
+};
+
+struct EdgeState {
+  std::deque<Segment> queue;
+  bool busy = false;
+};
+
+}  // namespace
+
+PacketResult simulate_packets(const topology::Topology& topo,
+                              const std::vector<PacketMessage>& messages,
+                              const PacketNetworkParams& params) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  AAPC_REQUIRE(params.segment_payload >= 1, "segment payload must be > 0");
+  AAPC_REQUIRE(params.window_segments >= 1, "window must be >= 1");
+  AAPC_REQUIRE(params.queue_capacity_segments >= 1, "queue capacity >= 1");
+
+  const double wire_time =
+      static_cast<double>(params.segment_payload + params.segment_overhead) /
+      params.link_bandwidth_bytes_per_sec;
+
+  std::vector<MessageState> message_state(messages.size());
+  std::vector<EdgeState> edge_state(
+      static_cast<std::size_t>(topo.directed_edge_count()));
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::int64_t sequence = 0;
+  PacketResult result;
+  result.completion.assign(messages.size(), 0);
+
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const PacketMessage& message = messages[m];
+    AAPC_REQUIRE(message.src >= 0 && message.src < topo.machine_count() &&
+                     message.dst >= 0 && message.dst < topo.machine_count() &&
+                     message.src != message.dst,
+                 "malformed packet message " << m);
+    AAPC_REQUIRE(message.bytes >= 1, "empty packet message " << m);
+    MessageState& state = message_state[m];
+    state.path = topo.path(topo.machine_node(message.src),
+                           topo.machine_node(message.dst));
+    state.total_segments = static_cast<std::int32_t>(
+        (message.bytes + params.segment_payload - 1) /
+        params.segment_payload);
+    state.last_segment_payload =
+        message.bytes - static_cast<Bytes>(state.total_segments - 1) *
+                            params.segment_payload;
+    state.state.assign(static_cast<std::size_t>(state.total_segments),
+                       SegmentState::kUnsent);
+    // Open the initial window.
+    state.cwnd =
+        params.transport == PacketNetworkParams::Transport::kAimd
+            ? 2.0
+            : static_cast<double>(params.window_segments);
+    const std::int32_t initial = std::min(
+        static_cast<std::int32_t>(state.cwnd), state.total_segments);
+    for (std::int32_t s = 0; s < initial; ++s) {
+      events.push(Event{message.start, sequence++, EventKind::kInject,
+                        static_cast<std::int32_t>(m), s});
+    }
+    state.next_unsent = initial;
+  }
+
+  auto start_edge_if_idle = [&](topology::EdgeId edge, SimTime now) {
+    EdgeState& state = edge_state[static_cast<std::size_t>(edge)];
+    if (!state.busy && !state.queue.empty()) {
+      state.busy = true;
+      events.push(Event{now + wire_time, sequence++, EventKind::kDequeue,
+                        edge, 0});
+    }
+  };
+
+  // Enqueue a segment on an edge; returns false (and counts a drop) when
+  // the output queue is full.
+  auto enqueue = [&](topology::EdgeId edge, const Segment& segment,
+                     SimTime now) -> bool {
+    EdgeState& state = edge_state[static_cast<std::size_t>(edge)];
+    // The segment being serialized occupies the port too; the queue
+    // capacity covers waiting segments.
+    if (static_cast<std::int32_t>(state.queue.size()) >=
+        params.queue_capacity_segments) {
+      ++result.segments_dropped;
+      return false;
+    }
+    state.queue.push_back(segment);
+    start_edge_if_idle(edge, now);
+    return true;
+  };
+
+  auto inject = [&](std::int32_t m, std::int32_t s, SimTime now,
+                    bool retransmit) {
+    MessageState& state = message_state[static_cast<std::size_t>(m)];
+    if (state.state[static_cast<std::size_t>(s)] == SegmentState::kDelivered) {
+      return;  // stale timeout
+    }
+    if (retransmit) ++result.retransmissions;
+    ++result.segments_sent;
+    state.state[static_cast<std::size_t>(s)] = SegmentState::kInflight;
+    // Drop at the first hop is possible too (source NIC queue).
+    enqueue(state.path.front(), Segment{m, s, 0}, now);
+    // Retransmission timer runs regardless of the drop above — that is
+    // exactly how the loss is recovered.
+    events.push(Event{now + params.retransmit_timeout, sequence++,
+                      EventKind::kTimeout, m, s});
+  };
+
+  // Livelock guard: generous but finite.
+  std::int64_t processed = 0;
+  const std::int64_t event_cap = 400'000'000;
+
+  std::int64_t completed_messages = 0;
+  double delivered_payload = 0;
+
+  while (!events.empty()) {
+    AAPC_CHECK_MSG(++processed < event_cap,
+                   "packet simulation exceeded the event cap (livelock?)");
+    const Event event = events.top();
+    events.pop();
+    switch (event.kind) {
+      case EventKind::kInject:
+        inject(event.a, event.b, event.time, false);
+        break;
+      case EventKind::kTimeout: {
+        MessageState& state =
+            message_state[static_cast<std::size_t>(event.a)];
+        if (state.state[static_cast<std::size_t>(event.b)] !=
+            SegmentState::kDelivered) {
+          if (params.transport ==
+              PacketNetworkParams::Transport::kAimd) {
+            state.cwnd = std::max(1.0, state.cwnd / 2.0);  // MD
+          }
+          inject(event.a, event.b, event.time, true);
+        }
+        break;
+      }
+      case EventKind::kDequeue: {
+        const topology::EdgeId edge = event.a;
+        EdgeState& edge_st = edge_state[static_cast<std::size_t>(edge)];
+        AAPC_CHECK(edge_st.busy && !edge_st.queue.empty());
+        const Segment segment = edge_st.queue.front();
+        edge_st.queue.pop_front();
+        edge_st.busy = false;
+        start_edge_if_idle(edge, event.time);
+
+        MessageState& msg =
+            message_state[static_cast<std::size_t>(segment.message)];
+        const SimTime arrival = event.time + params.link_latency;
+        const bool last_hop =
+            segment.hop + 1 == static_cast<std::int32_t>(msg.path.size());
+        if (!last_hop) {
+          // Forward to the next hop's output queue (dropped on
+          // overflow; the timeout recovers it).
+          enqueue(msg.path[static_cast<std::size_t>(segment.hop + 1)],
+                  Segment{segment.message, segment.segment, segment.hop + 1},
+                  arrival);
+          break;
+        }
+        // Delivered (duplicates from spurious retransmits are ignored).
+        SegmentState& seg_state =
+            msg.state[static_cast<std::size_t>(segment.segment)];
+        if (seg_state == SegmentState::kDelivered) break;
+        seg_state = SegmentState::kDelivered;
+        msg.last_delivery = std::max(msg.last_delivery, arrival);
+        delivered_payload += static_cast<double>(
+            segment.segment + 1 == msg.total_segments
+                ? msg.last_segment_payload
+                : params.segment_payload);
+        if (++msg.delivered == msg.total_segments) {
+          result.completion[static_cast<std::size_t>(segment.message)] =
+              msg.last_delivery;
+          result.makespan = std::max(result.makespan, msg.last_delivery);
+          ++completed_messages;
+          break;
+        }
+        // Sender learns after the ack delay and slides the sequential
+        // window: only in-order delivery advances `base`, so a missing
+        // low segment stalls the whole flow until its retransmission
+        // lands (the timeout-collapse mechanism).
+        while (msg.base < msg.total_segments &&
+               msg.state[static_cast<std::size_t>(msg.base)] ==
+                   SegmentState::kDelivered) {
+          ++msg.base;
+        }
+        if (params.transport == PacketNetworkParams::Transport::kAimd) {
+          // AI: one segment per window of deliveries, capped.
+          msg.cwnd = std::min(
+              static_cast<double>(params.window_segments),
+              msg.cwnd + 1.0 / std::max(1.0, msg.cwnd));
+          // Fast retransmit: three out-of-order deliveries above a hole
+          // signal a loss; resend the hole now and halve, instead of
+          // idling until the RTO (the dup-ack mechanism that keeps real
+          // TCP trunks busy under moderate loss).
+          const bool advanced = segment.segment < msg.base;
+          if (advanced) {
+            msg.dup_deliveries = 0;
+          } else if (msg.base < msg.total_segments &&
+                     msg.state[static_cast<std::size_t>(msg.base)] !=
+                         SegmentState::kDelivered &&
+                     ++msg.dup_deliveries >= 3) {
+            msg.dup_deliveries = 0;
+            msg.cwnd = std::max(1.0, msg.cwnd / 2.0);
+            inject(segment.message, msg.base,
+                   arrival + params.ack_latency, true);
+          }
+        }
+        const std::int32_t allowed = std::min(
+            msg.total_segments,
+            msg.base + static_cast<std::int32_t>(msg.cwnd));
+        while (msg.next_unsent < allowed) {
+          const std::int32_t next = msg.next_unsent++;
+          if (msg.state[static_cast<std::size_t>(next)] ==
+              SegmentState::kUnsent) {
+            events.push(Event{arrival + params.ack_latency, sequence++,
+                              EventKind::kInject, segment.message, next});
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  AAPC_CHECK_MSG(completed_messages ==
+                     static_cast<std::int64_t>(messages.size()),
+                 "packet simulation ended with "
+                     << completed_messages << "/" << messages.size()
+                     << " messages complete");
+  result.goodput_bytes_per_sec =
+      result.makespan > 0 ? delivered_payload / result.makespan : 0.0;
+  return result;
+}
+
+}  // namespace aapc::packetsim

@@ -1,0 +1,97 @@
+// Segment-level packet simulator: the first-principles counterpart of
+// the fluid model.
+//
+// Where `simnet` *assumes* calibrated contention losses (incast, trunk
+// congestion), this module derives them: messages are split into
+// MTU-sized segments that traverse store-and-forward switches with
+// finite drop-tail output queues; senders keep a fixed window of
+// segments outstanding and recover losses by retransmission after a
+// timeout — a deliberately simple transport (fixed window + RTO,
+// stop-and-repeat) that captures the two phenomena behind the paper's
+// measurements:
+//   * incast: many windows converging on one output port overflow its
+//     buffer; timeouts idle the senders and goodput collapses;
+//   * contention-free transfers: a single flow per link streams at wire
+//     speed minus header overhead.
+//
+// It is used by bench_model_validation to check that the fluid model's
+// eta(k) curves have the right shape, and by tests as an independent
+// reference for small scenarios. It is intentionally NOT plugged into
+// the mpisim executor: the fluid model remains the measurement
+// substrate (it is ~1000x faster); the packet model is the instrument
+// that justifies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aapc/common/units.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::packetsim {
+
+struct PacketNetworkParams {
+  /// Raw link bandwidth (both directions independently).
+  double link_bandwidth_bytes_per_sec = mbps_to_bytes_per_sec(100.0);
+  /// Segment payload (MTU minus headers).
+  Bytes segment_payload = 1460;
+  /// Wire bytes per segment (payload + Ethernet/IP/TCP headers).
+  Bytes segment_overhead = 78;
+  /// Output-queue capacity per directed edge, in segments (~48 KB —
+  /// era-appropriate for unmanaged 100 Mbps switches; together with the
+  /// 40 ms timeout this reproduces the fluid model's calibrated incast
+  /// curve almost exactly, see bench_model_validation).
+  std::int32_t queue_capacity_segments = 32;
+  /// Fixed per-link propagation/processing latency.
+  SimTime link_latency = microseconds(5.0);
+  /// Segments a sender keeps outstanding per message (fixed window, or
+  /// the initial/maximum bounds of the AIMD window).
+  std::int32_t window_segments = 12;
+
+  enum class Transport {
+    /// Fixed sliding window + RTO: the simplest transport exhibiting
+    /// incast timeout collapse.
+    kFixedWindow,
+    /// TCP-flavoured congestion control: additive increase (one segment
+    /// per window of in-order deliveries), multiplicative decrease
+    /// (halve on timeout), starting from 2 segments up to
+    /// `window_segments`. Adapts under trunk multiplexing the way real
+    /// flows do.
+    kAimd,
+  };
+  Transport transport = Transport::kFixedWindow;
+  /// Retransmission timeout after injecting a segment.
+  SimTime retransmit_timeout = milliseconds(40.0);
+  /// Latency of the (unmodelled) ack path: the sender learns about a
+  /// delivery this long after it happens.
+  SimTime ack_latency = microseconds(120.0);
+};
+
+/// One message to transfer.
+struct PacketMessage {
+  topology::Rank src = -1;
+  topology::Rank dst = -1;
+  Bytes bytes = 0;
+  SimTime start = 0;
+};
+
+struct PacketResult {
+  /// Per-message completion times (all segments delivered).
+  std::vector<SimTime> completion;
+  /// Time the last message completed.
+  SimTime makespan = 0;
+  std::int64_t segments_sent = 0;     // includes retransmissions
+  std::int64_t segments_dropped = 0;
+  std::int64_t retransmissions = 0;
+  /// Delivered payload bytes / makespan.
+  double goodput_bytes_per_sec = 0;
+};
+
+/// Runs the scenario to completion. Deterministic: ties are broken by
+/// (event time, sequence). Throws InvalidArgument on malformed
+/// messages; guards against livelock with an internal event cap.
+PacketResult simulate_packets(const topology::Topology& topo,
+                              const std::vector<PacketMessage>& messages,
+                              const PacketNetworkParams& params = {});
+
+}  // namespace aapc::packetsim

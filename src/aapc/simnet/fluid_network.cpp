@@ -1,0 +1,270 @@
+#include "aapc/simnet/fluid_network.hpp"
+
+#include <algorithm>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::simnet {
+
+namespace {
+// Completion/activation times within this window are treated as equal so
+// symmetric flows finish in one batch (fewer rate recomputations and no
+// artificial ordering from rounding noise).
+constexpr double kTimeEpsilon = 1e-12;
+}  // namespace
+
+FluidNetwork::FluidNetwork(const topology::Topology& topo,
+                           const NetworkParams& params)
+    : topo_(topo), params_(params) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  AAPC_REQUIRE(params.link_bandwidth_bytes_per_sec > 0, "bandwidth <= 0");
+  AAPC_REQUIRE(params.protocol_efficiency > 0 &&
+                   params.protocol_efficiency <= 1.0,
+               "protocol efficiency must be in (0, 1]");
+  stats_.edge_bytes.assign(
+      static_cast<std::size_t>(topo.directed_edge_count()), 0.0);
+  row_count_ = topo.directed_edge_count() + topo.node_count();
+  row_capacity_.assign(static_cast<std::size_t>(row_count_), 0.0);
+  row_flow_count_.assign(static_cast<std::size_t>(row_count_), 0);
+  edge_is_machine_.resize(stats_.edge_bytes.size());
+  for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
+    edge_is_machine_[static_cast<std::size_t>(e)] =
+        topo.is_machine(topo.edge_source(e)) ||
+        topo.is_machine(topo.edge_target(e));
+  }
+  // Static base capacities per row (contention scaling happens per
+  // recompute; everything else is topology-constant).
+  row_base_capacity_.assign(static_cast<std::size_t>(row_count_), 0.0);
+  const double protocol = params.protocol_efficiency;
+  for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
+    row_base_capacity_[static_cast<std::size_t>(e)] =
+        params.link_bandwidth(e / 2) * protocol;
+  }
+  for (topology::NodeId node = 0; node < topo.node_count(); ++node) {
+    const auto row = static_cast<std::size_t>(topo.directed_edge_count() +
+                                              node);
+    if (topo.is_machine(node)) {
+      const topology::NodeId neighbor = topo.neighbors(node).front();
+      const topology::LinkId link = topo.edge_between(node, neighbor) / 2;
+      row_base_capacity_[row] =
+          2.0 * params.link_bandwidth(link) * protocol *
+          params.duplex_efficiency;
+    } else {
+      row_base_capacity_[row] =
+          params.effective_bandwidth() * params.switch_fabric_links;
+    }
+  }
+}
+
+FlowId FluidNetwork::add_flow(topology::NodeId src, topology::NodeId dst,
+                              Bytes bytes, SimTime start) {
+  AAPC_REQUIRE(start >= now_ - kTimeEpsilon,
+               "flow starts in the past: " << start << " < " << now_);
+  AAPC_REQUIRE(src != dst, "self flows are not network flows");
+  Flow flow;
+  flow.path = topo_.path(src, dst);
+  // Capacity rows: path edges, the two endpoint machines (duplex cap),
+  // and every switch traversed (fabric cap). Node rows are indexed
+  // directed_edge_count() + node id.
+  flow.constraints.reserve(2 * flow.path.size() + 1);
+  for (const topology::EdgeId e : flow.path) {
+    flow.constraints.push_back(e);
+  }
+  flow.constraints.push_back(topo_.directed_edge_count() + src);
+  flow.constraints.push_back(topo_.directed_edge_count() + dst);
+  for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+    flow.constraints.push_back(topo_.directed_edge_count() +
+                               topo_.edge_target(flow.path[i]));
+  }
+  flow.remaining = static_cast<double>(bytes);
+  flow.start = std::max(start, now_);
+  const FlowId id = static_cast<FlowId>(flows_.size());
+  flows_.push_back(std::move(flow));
+  if (flows_.back().start <= now_ + kTimeEpsilon) {
+    flows_.back().active = true;
+    active_.push_back(id);
+    ++active_count_;
+    stats_.max_concurrent_flows =
+        std::max<std::int64_t>(stats_.max_concurrent_flows, active_count_);
+    recompute_rates();
+  } else {
+    pending_.push_back(id);
+    ++pending_count_;
+  }
+  return id;
+}
+
+SimTime FluidNetwork::next_event_time() const {
+  SimTime best = kNever;
+  for (const FlowId id : pending_) {
+    best = std::min(best, flows_[static_cast<std::size_t>(id)].start);
+  }
+  for (const FlowId id : active_) {
+    const Flow& flow = flows_[static_cast<std::size_t>(id)];
+    if (flow.rate > 0) {
+      best = std::min(best, now_ + flow.remaining / flow.rate);
+    }
+  }
+  return best;
+}
+
+void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
+  AAPC_REQUIRE(when >= now_ - kTimeEpsilon,
+               "cannot rewind network time to " << when << " from " << now_);
+  while (true) {
+    // Next internal event within (now_, when].
+    SimTime step_end = when;
+    for (const FlowId id : pending_) {
+      step_end = std::min(step_end, flows_[static_cast<std::size_t>(id)].start);
+    }
+    for (const FlowId id : active_) {
+      const Flow& flow = flows_[static_cast<std::size_t>(id)];
+      if (flow.rate > 0) {
+        step_end = std::min(step_end, now_ + flow.remaining / flow.rate);
+      }
+    }
+    step_end = std::max(step_end, now_);
+
+    // Drain progress over [now_, step_end].
+    const double dt = step_end - now_;
+    if (dt > 0) {
+      for (const FlowId id : active_) {
+        Flow& flow = flows_[static_cast<std::size_t>(id)];
+        const double moved = std::min(flow.remaining, flow.rate * dt);
+        flow.remaining -= moved;
+        total_delivered_bytes_ += moved;
+        for (const topology::EdgeId e : flow.path) {
+          stats_.edge_bytes[static_cast<std::size_t>(e)] += moved;
+        }
+      }
+      now_ = step_end;
+    }
+
+    // Collect completions (remaining ~ 0) and activations due now.
+    bool topology_changed = false;
+    for (std::size_t i = 0; i < active_.size();) {
+      const FlowId id = active_[i];
+      Flow& flow = flows_[static_cast<std::size_t>(id)];
+      // A flow can only hit zero if its rate was positive; rate 0 with
+      // remaining 0 means it was added with 0 bytes — complete it too.
+      if (flow.remaining <= kTimeEpsilon ||
+          (flow.rate > 0 && flow.remaining / flow.rate <= kTimeEpsilon)) {
+        flow.remaining = 0;
+        flow.done = true;
+        flow.active = false;
+        completed.push_back(id);
+        ++stats_.completed_flows;
+        active_[i] = active_.back();
+        active_.pop_back();
+        --active_count_;
+        topology_changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < pending_.size();) {
+      const FlowId id = pending_[i];
+      Flow& flow = flows_[static_cast<std::size_t>(id)];
+      if (flow.start <= now_ + kTimeEpsilon) {
+        flow.active = true;
+        active_.push_back(id);
+        ++active_count_;
+        stats_.max_concurrent_flows =
+            std::max<std::int64_t>(stats_.max_concurrent_flows, active_count_);
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+        --pending_count_;
+        topology_changed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (topology_changed) {
+      recompute_rates();
+    }
+    if (now_ >= when - kTimeEpsilon) {
+      now_ = std::max(now_, when);
+      return;
+    }
+  }
+}
+
+std::int32_t FluidNetwork::flow_hops(FlowId flow) const {
+  AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+               "bad flow id " << flow);
+  return static_cast<std::int32_t>(
+      flows_[static_cast<std::size_t>(flow)].path.size());
+}
+
+double FluidNetwork::aggregate_throughput() const {
+  return now_ > 0 ? total_delivered_bytes_ / now_ : 0.0;
+}
+
+void FluidNetwork::recompute_rates() {
+  ++stats_.rate_recomputations;
+  const std::int32_t edge_rows = topo_.directed_edge_count();
+  std::fill(row_flow_count_.begin(), row_flow_count_.end(), 0);
+  flow_fixed_.assign(active_.size(), 0);
+
+  for (const FlowId id : active_) {
+    for (const std::int32_t c : flows_[static_cast<std::size_t>(id)].constraints) {
+      row_flow_count_[static_cast<std::size_t>(c)] += 1;
+    }
+  }
+  // Edge rows: usable capacity shrinks with the number of concurrent
+  // flows (incast / trunk congestion). Machine rows: the duplex cap on
+  // combined send+receive rate of one host.
+  for (std::int32_t c = 0; c < row_count_; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    if (c < edge_rows) {
+      row_capacity_[idx] =
+          row_base_capacity_[idx] *
+          params_.contention_efficiency(edge_is_machine_[idx] != 0,
+                                        row_flow_count_[idx]);
+    } else {
+      row_capacity_[idx] = row_base_capacity_[idx];
+    }
+  }
+
+  // Progressive filling: repeatedly saturate the row with the smallest
+  // fair share, fixing its flows at that rate.
+  std::size_t unfixed = active_.size();
+  while (unfixed > 0) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < row_capacity_.size(); ++c) {
+      if (row_flow_count_[c] > 0) {
+        min_share =
+            std::min(min_share, row_capacity_[c] / row_flow_count_[c]);
+      }
+    }
+    AAPC_CHECK(min_share < std::numeric_limits<double>::infinity());
+    // Fix every unfixed flow crossing a bottleneck row at min_share.
+    bool fixed_any = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (flow_fixed_[i]) continue;
+      Flow& flow = flows_[static_cast<std::size_t>(active_[i])];
+      bool at_bottleneck = false;
+      for (const std::int32_t c : flow.constraints) {
+        const auto idx = static_cast<std::size_t>(c);
+        if (row_capacity_[idx] / row_flow_count_[idx] <=
+            min_share * (1 + 1e-9)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      flow.rate = min_share;
+      flow_fixed_[i] = 1;
+      fixed_any = true;
+      --unfixed;
+      for (const std::int32_t c : flow.constraints) {
+        const auto idx = static_cast<std::size_t>(c);
+        row_capacity_[idx] = std::max(0.0, row_capacity_[idx] - min_share);
+        row_flow_count_[idx] -= 1;
+      }
+    }
+    AAPC_CHECK_MSG(fixed_any, "progressive filling made no progress");
+  }
+}
+
+}  // namespace aapc::simnet

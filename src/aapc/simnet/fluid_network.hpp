@@ -1,0 +1,120 @@
+// Event-driven fluid-flow model of a switched-Ethernet tree.
+//
+// Every in-flight message is a *flow* over the directed edges of its
+// tree path. At any instant, flow rates are the max-min fair allocation
+// of each directed edge's effective bandwidth among the flows crossing
+// it (progressive filling). This is the standard fluid abstraction of
+// per-connection TCP bandwidth sharing on switched Ethernet and captures
+// exactly the phenomenon the paper schedules around: a contention-free
+// phase runs every flow at full link rate, while contending flows split
+// the bottleneck.
+//
+// The network only advances time forward (advance_to) and reports the
+// earliest flow completion (next_completion); the mpisim executor owns
+// the event loop.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "aapc/common/units.hpp"
+#include "aapc/simnet/params.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::simnet {
+
+using FlowId = std::int64_t;
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr SimTime kNever = std::numeric_limits<double>::infinity();
+
+/// Aggregate transfer statistics, for utilization reporting.
+struct NetworkStats {
+  /// Payload bytes carried per directed edge.
+  std::vector<double> edge_bytes;
+  /// Number of max-min rate recomputations performed.
+  std::int64_t rate_recomputations = 0;
+  /// Completed flows.
+  std::int64_t completed_flows = 0;
+  /// Peak number of simultaneously active flows (a direct measure of
+  /// how much an algorithm floods the network).
+  std::int64_t max_concurrent_flows = 0;
+};
+
+class FluidNetwork {
+ public:
+  FluidNetwork(const topology::Topology& topo, const NetworkParams& params);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Registers a flow of `bytes` from machine node `src` to machine node
+  /// `dst`, activating at `start` (>= now()). Zero-length paths (src ==
+  /// dst) are invalid — model local copies outside the network.
+  FlowId add_flow(topology::NodeId src, topology::NodeId dst, Bytes bytes,
+                  SimTime start);
+
+  /// Earliest among pending activations and running-flow completions;
+  /// kNever when the network is idle.
+  SimTime next_event_time() const;
+
+  /// Advances simulated time, draining flow progress. `when` must be
+  /// >= now(). Completions and activations at times <= `when` are
+  /// processed in order; completed flow ids are appended to `completed`.
+  void advance_to(SimTime when, std::vector<FlowId>& completed);
+
+  /// Number of hops (directed edges) of a flow's path.
+  std::int32_t flow_hops(FlowId flow) const;
+
+  /// True when no flow is pending or running.
+  bool idle() const { return active_count_ == 0 && pending_count_ == 0; }
+
+  std::int64_t active_flow_count() const { return active_count_; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Aggregate payload throughput over [0, now()]: total delivered bytes
+  /// divided by elapsed time (bytes/sec).
+  double aggregate_throughput() const;
+
+ private:
+  struct Flow {
+    std::vector<topology::EdgeId> path;
+    /// Capacity rows this flow consumes: its path edges plus the two
+    /// endpoint-machine duplex rows (see recompute_rates).
+    std::vector<std::int32_t> constraints;
+    double remaining = 0;  // bytes
+    double rate = 0;       // bytes/sec; 0 while pending
+    SimTime start = 0;
+    bool active = false;
+    bool done = false;
+  };
+
+  void recompute_rates();
+
+  const topology::Topology& topo_;
+  NetworkParams params_;
+  SimTime now_ = 0;
+  std::vector<Flow> flows_;
+  std::vector<FlowId> pending_;  // not yet activated, unsorted
+  std::vector<FlowId> active_;
+  std::int64_t active_count_ = 0;
+  std::int64_t pending_count_ = 0;
+  double total_delivered_bytes_ = 0;
+  NetworkStats stats_;
+
+  // Capacity rows: one per directed edge, then one duplex row per
+  // machine (rank order). Scratch buffers avoid per-call allocation.
+  std::int32_t row_count_ = 0;
+  std::vector<double> row_capacity_;
+  std::vector<std::int32_t> row_flow_count_;
+  std::vector<char> flow_fixed_;
+  // True for directed edges with a machine endpoint (incast model).
+  std::vector<char> edge_is_machine_;
+  // Static per-row base capacities (before contention scaling):
+  // edge rows hold link_bandwidth(link) * protocol_efficiency; node rows
+  // hold the duplex/fabric caps.
+  std::vector<double> row_base_capacity_;
+};
+
+}  // namespace aapc::simnet

@@ -1,0 +1,142 @@
+#include "aapc/stp/stp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::stp {
+
+BridgeId BridgeNetwork::add_bridge(std::string name,
+                                   std::uint64_t bridge_identifier) {
+  for (const std::uint64_t existing : ids_) {
+    AAPC_REQUIRE(existing != bridge_identifier,
+                 "duplicate bridge identifier " << bridge_identifier);
+  }
+  names_.push_back(std::move(name));
+  ids_.push_back(bridge_identifier);
+  return static_cast<BridgeId>(names_.size() - 1);
+}
+
+std::int32_t BridgeNetwork::add_bridge_link(BridgeId a, BridgeId b,
+                                            std::int32_t cost) {
+  AAPC_REQUIRE(a >= 0 && a < bridge_count(), "bad bridge id " << a);
+  AAPC_REQUIRE(b >= 0 && b < bridge_count(), "bad bridge id " << b);
+  AAPC_REQUIRE(a != b, "self link on bridge " << names_[a]);
+  AAPC_REQUIRE(cost > 0, "link cost must be positive");
+  links_.push_back(BridgeLink{a, b, cost});
+  return static_cast<std::int32_t>(links_.size() - 1);
+}
+
+void BridgeNetwork::add_machine(std::string name, BridgeId bridge) {
+  AAPC_REQUIRE(bridge >= 0 && bridge < bridge_count(),
+               "bad bridge id " << bridge);
+  machines_.push_back(Machine{std::move(name), bridge});
+}
+
+SpanningTree compute_spanning_tree(const BridgeNetwork& network) {
+  AAPC_REQUIRE(network.bridge_count() >= 1, "need at least one bridge");
+  AAPC_REQUIRE(network.machine_count() >= 1, "need at least one machine");
+  const std::int32_t bridges = network.bridge_count();
+
+  // 1. Root election: smallest bridge identifier.
+  BridgeId root = 0;
+  for (BridgeId b = 1; b < bridges; ++b) {
+    if (network.bridge_identifier(b) < network.bridge_identifier(root)) {
+      root = b;
+    }
+  }
+
+  // Adjacency: (neighbor, link index).
+  std::vector<std::vector<std::pair<BridgeId, std::int32_t>>> adjacency(
+      bridges);
+  for (std::size_t l = 0; l < network.links().size(); ++l) {
+    const auto& link = network.links()[l];
+    adjacency[link.a].emplace_back(link.b, static_cast<std::int32_t>(l));
+    adjacency[link.b].emplace_back(link.a, static_cast<std::int32_t>(l));
+  }
+
+  // 2. Root path costs (Dijkstra; 802.1D converges to least-cost paths).
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> cost(bridges, kInf);
+  cost[root] = 0;
+  using QueueEntry = std::pair<std::int64_t, BridgeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  queue.emplace(0, root);
+  while (!queue.empty()) {
+    const auto [c, b] = queue.top();
+    queue.pop();
+    if (c > cost[b]) continue;
+    for (const auto& [neighbor, link] : adjacency[b]) {
+      const std::int64_t via = c + network.links()[link].cost;
+      if (via < cost[neighbor]) {
+        cost[neighbor] = via;
+        queue.emplace(via, neighbor);
+      }
+    }
+  }
+  for (BridgeId b = 0; b < bridges; ++b) {
+    AAPC_REQUIRE(cost[b] != kInf, "bridge " << network.bridge_name(b)
+                                            << " is disconnected from the "
+                                            << "root bridge");
+  }
+
+  // 3. Root port per non-root bridge: neighbor minimizing
+  //    (neighbor root cost + link cost, neighbor bridge id, link id).
+  SpanningTree result;
+  result.root_bridge = root;
+  result.forwarding.assign(network.links().size(), false);
+  result.root_path_cost.assign(bridges, 0);
+  for (BridgeId b = 0; b < bridges; ++b) {
+    result.root_path_cost[b] = static_cast<std::int32_t>(cost[b]);
+    if (b == root) continue;
+    std::int32_t best_link = -1;
+    std::int64_t best_cost = kInf;
+    std::uint64_t best_neighbor_id = 0;
+    for (const auto& [neighbor, link] : adjacency[b]) {
+      const std::int64_t via = cost[neighbor] + network.links()[link].cost;
+      const std::uint64_t neighbor_id = network.bridge_identifier(neighbor);
+      const bool better =
+          via < best_cost ||
+          (via == best_cost && (best_link == -1 ||
+                                neighbor_id < best_neighbor_id ||
+                                (neighbor_id == best_neighbor_id &&
+                                 link < best_link)));
+      if (better) {
+        best_cost = via;
+        best_link = link;
+        best_neighbor_id = neighbor_id;
+      }
+    }
+    AAPC_CHECK(best_link >= 0);
+    AAPC_CHECK_MSG(best_cost == cost[b],
+                   "root port of " << network.bridge_name(b)
+                                   << " does not realize its root cost");
+    result.forwarding[static_cast<std::size_t>(best_link)] = true;
+  }
+
+  // 4. Materialize the machine-leaf tree.
+  topology::Topology topo;
+  std::vector<topology::NodeId> bridge_node(bridges);
+  for (BridgeId b = 0; b < bridges; ++b) {
+    bridge_node[b] = topo.add_switch(network.bridge_name(b));
+  }
+  for (std::size_t l = 0; l < network.links().size(); ++l) {
+    if (result.forwarding[l]) {
+      const auto& link = network.links()[l];
+      topo.add_link(bridge_node[link.a], bridge_node[link.b]);
+    }
+  }
+  for (const auto& machine : network.machines()) {
+    const topology::NodeId node = topo.add_machine(machine.name);
+    topo.add_link(node, bridge_node[machine.bridge]);
+  }
+  topo.finalize();
+  result.topology = std::move(topo);
+  return result;
+}
+
+}  // namespace aapc::stp

@@ -1,0 +1,93 @@
+// Spanning tree election for bridged Ethernet LANs.
+//
+// §3 of the paper assumes "switches use a spanning tree algorithm to
+// determine forwarding paths ... thus, the physical topology of the
+// network is always a tree". This module implements that assumption:
+// given an arbitrary (possibly cyclic, multi-path) switch graph with
+// IEEE-802.1D-style bridge IDs and port costs, it elects the root
+// bridge, selects each bridge's root port, blocks redundant links, and
+// produces the machine-leaf `topology::Topology` the scheduler consumes.
+//
+// Election rules (802.1D distilled):
+//   1. Root bridge: smallest bridge id (priority then MAC).
+//   2. Root port of bridge b: neighbor link minimizing
+//      (root path cost, neighbor bridge id, link id).
+//   3. A bridge-to-bridge link forwards iff it is some bridge's root
+//      port; all other switch links are blocked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::stp {
+
+using BridgeId = std::int32_t;
+
+/// A bridged LAN under construction: bridges (switches running STP),
+/// weighted bridge-to-bridge links, and machines attached to bridges.
+class BridgeNetwork {
+ public:
+  /// `bridge_identifier` is the concatenated (priority, MAC) value used
+  /// for root election; lower wins. Must be unique.
+  BridgeId add_bridge(std::string name, std::uint64_t bridge_identifier);
+
+  /// Adds a (possibly redundant) bridge link with an STP path cost
+  /// (e.g. 19 for 100 Mbps in classic 802.1D). Parallel links allowed.
+  std::int32_t add_bridge_link(BridgeId a, BridgeId b, std::int32_t cost = 19);
+
+  /// Attaches a machine (end host; never blocks, never elected).
+  void add_machine(std::string name, BridgeId bridge);
+
+  std::int32_t bridge_count() const {
+    return static_cast<std::int32_t>(names_.size());
+  }
+  std::int32_t bridge_link_count() const {
+    return static_cast<std::int32_t>(links_.size());
+  }
+  std::int32_t machine_count() const {
+    return static_cast<std::int32_t>(machines_.size());
+  }
+
+  struct BridgeLink {
+    BridgeId a;
+    BridgeId b;
+    std::int32_t cost;
+  };
+  struct Machine {
+    std::string name;
+    BridgeId bridge;
+  };
+
+  const std::string& bridge_name(BridgeId id) const { return names_[id]; }
+  std::uint64_t bridge_identifier(BridgeId id) const { return ids_[id]; }
+  const std::vector<BridgeLink>& links() const { return links_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> ids_;
+  std::vector<BridgeLink> links_;
+  std::vector<Machine> machines_;
+};
+
+/// Result of the election.
+struct SpanningTree {
+  /// The derived tree topology (bridges become switches, machines become
+  /// leaves); finalized.
+  topology::Topology topology;
+  /// Index of the elected root bridge.
+  BridgeId root_bridge = -1;
+  /// forwarding[i] == true iff bridge link i is in the spanning tree.
+  std::vector<bool> forwarding;
+  /// Root path cost per bridge.
+  std::vector<std::int32_t> root_path_cost;
+};
+
+/// Runs the election. Requires a connected bridge graph with at least
+/// one bridge and one machine; throws InvalidArgument otherwise.
+SpanningTree compute_spanning_tree(const BridgeNetwork& network);
+
+}  // namespace aapc::stp

@@ -1,0 +1,213 @@
+#include "aapc/sync/sync_plan.hpp"
+
+#include <algorithm>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::sync {
+
+namespace {
+
+/// Fixed-width bitset over dynamic word count (std::vector<bool> is too
+/// slow for the O(n^2) intersection tests below).
+class BitRows {
+ public:
+  BitRows(std::size_t rows, std::size_t bits)
+      : words_per_row_((bits + 63) / 64),
+        data_(rows * words_per_row_, 0) {}
+
+  void set(std::size_t row, std::size_t bit) {
+    data_[row * words_per_row_ + bit / 64] |= (1ull << (bit % 64));
+  }
+
+  bool test(std::size_t row, std::size_t bit) const {
+    return (data_[row * words_per_row_ + bit / 64] >> (bit % 64)) & 1ull;
+  }
+
+  bool rows_intersect(std::size_t a, std::size_t b) const {
+    const std::uint64_t* pa = &data_[a * words_per_row_];
+    const std::uint64_t* pb = &data_[b * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (pa[w] & pb[w]) return true;
+    }
+    return false;
+  }
+
+  /// row_a |= row_b.
+  void merge_into(std::size_t a, std::size_t b) {
+    std::uint64_t* pa = &data_[a * words_per_row_];
+    const std::uint64_t* pb = &data_[b * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      pa[w] |= pb[w];
+    }
+  }
+
+ private:
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace
+
+SyncPlan build_sync_plan(const topology::Topology& topo,
+                         const core::Schedule& schedule,
+                         const SyncPlanOptions& options) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const auto n = static_cast<std::size_t>(schedule.messages.size());
+  for (std::size_t i = 1; i < n; ++i) {
+    AAPC_REQUIRE(schedule.messages[i - 1].phase <= schedule.messages[i].phase,
+                 "schedule messages must be sorted by phase");
+  }
+
+  // Path bitmask per message over directed edges.
+  BitRows paths(n, static_cast<std::size_t>(topo.directed_edge_count()));
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::Message& m = schedule.messages[i].message;
+    for (const topology::EdgeId e :
+         topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+      paths.set(i, static_cast<std::size_t>(e));
+    }
+  }
+
+  const bool all_pairs =
+      options.construction == SyncPlanOptions::Construction::kAllPairs ||
+      (options.construction == SyncPlanOptions::Construction::kAuto &&
+       n <= 4000);
+
+  std::vector<std::vector<std::int32_t>> succ(n);
+  SyncPlan plan;
+  if (all_pairs) {
+    // Full dependence graph (§5): edge i -> j for i < j in phase order
+    // when the paths intersect and the phases differ. (Messages are
+    // phase-sorted; intra-phase pairs are contention-free by
+    // construction.)
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (schedule.messages[i].phase == schedule.messages[j].phase) {
+          continue;
+        }
+        if (paths.rows_intersect(i, j)) {
+          succ[i].push_back(static_cast<std::int32_t>(j));
+          ++plan.edges_before_reduction;
+        }
+      }
+    }
+  } else {
+    // Scalable construction: per directed edge, chain consecutive users
+    // in message (= phase) order. Orders exactly the same pairs
+    // transitively as the all-pairs graph. Deduplicate edges arising
+    // from multiple shared links.
+    std::vector<std::int32_t> last_user(
+        static_cast<std::size_t>(topo.directed_edge_count()), -1);
+    std::vector<std::vector<std::int32_t>> pred_dedupe(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const core::Message& m = schedule.messages[j].message;
+      for (const topology::EdgeId e :
+           topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+        const std::int32_t i = last_user[static_cast<std::size_t>(e)];
+        last_user[static_cast<std::size_t>(e)] =
+            static_cast<std::int32_t>(j);
+        if (i < 0) continue;
+        if (schedule.messages[static_cast<std::size_t>(i)].phase ==
+            schedule.messages[j].phase) {
+          continue;
+        }
+        auto& preds = pred_dedupe[j];
+        if (std::find(preds.begin(), preds.end(), i) == preds.end()) {
+          preds.push_back(i);
+          succ[static_cast<std::size_t>(i)].push_back(
+              static_cast<std::int32_t>(j));
+          ++plan.edges_before_reduction;
+        }
+      }
+    }
+    for (auto& successors : succ) {
+      std::sort(successors.begin(), successors.end());
+    }
+  }
+
+  // The bitset reduction is O(n^2) bits of memory; for very large
+  // schedules the edge-chain construction is already near-minimal, so
+  // skip the reduction there rather than allocating gigabytes.
+  const bool reduce = options.remove_redundant && n > 0 && n <= 20000;
+  if (reduce) {
+    // reach[i] = vertices reachable from i via >= 1 edge. Processing in
+    // reverse index order works because all edges go forward in index.
+    BitRows reach(n, n);
+    for (std::size_t i = n; i-- > 0;) {
+      for (const std::int32_t j : succ[i]) {
+        reach.set(i, static_cast<std::size_t>(j));
+        reach.merge_into(i, static_cast<std::size_t>(j));
+      }
+    }
+    // Edge (i, j) is redundant iff some other direct successor v of i
+    // reaches j (then i -> v -> ... -> j orders the pair without it).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::int32_t j : succ[i]) {
+        bool redundant = false;
+        for (const std::int32_t v : succ[i]) {
+          if (v != j && reach.test(static_cast<std::size_t>(v),
+                                   static_cast<std::size_t>(j))) {
+            redundant = true;
+            break;
+          }
+        }
+        if (!redundant) {
+          plan.edges.push_back(SyncEdge{static_cast<std::int32_t>(i), j});
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::int32_t j : succ[i]) {
+        plan.edges.push_back(SyncEdge{static_cast<std::int32_t>(i), j});
+      }
+    }
+  }
+
+  std::sort(plan.edges.begin(), plan.edges.end());
+  for (const SyncEdge& e : plan.edges) {
+    if (schedule.messages[static_cast<std::size_t>(e.from)].message.src !=
+        schedule.messages[static_cast<std::size_t>(e.to)].message.src) {
+      ++plan.cross_node_edges;
+    }
+  }
+  return plan;
+}
+
+PlanAnalysis analyze_plan(const SyncPlan& plan,
+                          std::int64_t message_count) {
+  PlanAnalysis analysis;
+  if (message_count <= 0) return analysis;
+  const auto n = static_cast<std::size_t>(message_count);
+  std::vector<std::int32_t> in_degree(n, 0);
+  std::vector<std::int32_t> out_degree(n, 0);
+  // Longest chain: edges go forward in message index, so one pass of
+  // dynamic programming over edges sorted by source suffices.
+  std::vector<std::int32_t> depth(n, 1);
+  for (const SyncEdge& e : plan.edges) {
+    AAPC_REQUIRE(e.from >= 0 && e.to >= 0 &&
+                     e.from < message_count && e.to < message_count &&
+                     e.from < e.to,
+                 "plan edge out of range or not forward");
+    ++out_degree[static_cast<std::size_t>(e.from)];
+    ++in_degree[static_cast<std::size_t>(e.to)];
+  }
+  for (const SyncEdge& e : plan.edges) {
+    depth[static_cast<std::size_t>(e.to)] =
+        std::max(depth[static_cast<std::size_t>(e.to)],
+                 depth[static_cast<std::size_t>(e.from)] + 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis.critical_path_messages =
+        std::max(analysis.critical_path_messages, depth[i]);
+    analysis.max_in_degree = std::max(analysis.max_in_degree, in_degree[i]);
+    analysis.max_out_degree =
+        std::max(analysis.max_out_degree, out_degree[i]);
+  }
+  analysis.avg_degree =
+      static_cast<double>(plan.edges.size()) / static_cast<double>(n);
+  return analysis;
+}
+
+}  // namespace aapc::sync

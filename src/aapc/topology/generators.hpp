@@ -1,0 +1,66 @@
+// Topology generators: the paper's experimental topologies (Figure 5)
+// plus parameterized families (single switch, star-of-switches, chains,
+// binary-ish random trees) used by tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::topology {
+
+/// One switch with `machines` machines attached (paper topology (a) uses
+/// machines = 24).
+Topology make_single_switch(std::int32_t machines);
+
+/// A hub switch s0 with `machines_per_switch[0]` machines, plus one leaf
+/// switch per further entry, each holding that many machines. Paper
+/// topology (b) is make_star({8, 8, 8, 8}).
+Topology make_star(const std::vector<std::int32_t>& machines_per_switch);
+
+/// A chain of switches s0 — s1 — ... with machines_per_switch[i] machines
+/// on switch i. Paper topology (c) is make_chain({8, 8, 8, 8}).
+Topology make_chain(const std::vector<std::int32_t>& machines_per_switch);
+
+/// The 24-node single-switch cluster from Figure 5(a).
+Topology make_paper_topology_a();
+
+/// The 32-node, 4-switch star from Figure 5(b): S0 holds n0..n7 and
+/// connects to S1, S2, S3 with 8 machines each.
+Topology make_paper_topology_b();
+
+/// The 32-node, 4-switch chain from Figure 5(c): S0—S1—S2—S3, 8 machines
+/// per switch; the S1—S2 link is the bottleneck (16 × 16).
+Topology make_paper_topology_c();
+
+/// The example cluster from Figure 1 (the §4 worked example): root
+/// switch s1 whose machine-bearing subtrees are ts0 = {n0,n1,n2}
+/// (n2 one switch deeper, on s2 under s0), ts3 = {n3,n4}, and
+/// tn5 = {n5} directly attached to the root. Subtree machine counts are
+/// {3, 2, 1}, matching Figure 3 and Table 4.
+Topology make_paper_figure1();
+
+/// A complete binary tree of switches with `depth` levels (depth 1 =
+/// a single switch) and `machines_per_leaf` machines on each leaf
+/// switch. Exercises deep multi-hop paths.
+Topology make_binary_tree(std::int32_t depth,
+                          std::int32_t machines_per_leaf);
+
+struct RandomTreeOptions {
+  std::int32_t switches = 4;
+  std::int32_t machines = 12;
+  /// Maximum switch-children a switch may have (>= 1).
+  std::int32_t max_switch_degree = 3;
+  /// Every switch gets at least this many machines (may be 0).
+  std::int32_t min_machines_per_switch = 0;
+};
+
+/// Random machine-leaf tree: a random tree over `switches` switches, with
+/// `machines` machines distributed over them (each switch that would
+/// otherwise isolate the tree is still valid: machines are leaves only).
+/// Guarantees at least one machine; the result is finalized.
+Topology make_random_tree(Rng& rng, const RandomTreeOptions& options);
+
+}  // namespace aapc::topology

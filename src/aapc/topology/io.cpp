@@ -1,0 +1,159 @@
+#include "aapc/topology/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/strings.hpp"
+#include "aapc/common/units.hpp"
+
+namespace aapc::topology {
+
+Topology parse_topology(std::string_view text) {
+  Topology topo;
+  std::map<std::string, NodeId> by_name;
+  struct PendingLink {
+    std::string a;
+    std::string b;
+    int line;
+  };
+  std::vector<PendingLink> links;
+
+  auto lookup = [&](const std::string& name, int line) -> NodeId {
+    const auto it = by_name.find(name);
+    AAPC_REQUIRE(it != by_name.end(),
+                 "line " << line << ": unknown node '" << name << "'");
+    return it->second;
+  };
+
+  int line_number = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string> tokens = split_whitespace(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "switch") {
+      AAPC_REQUIRE(tokens.size() == 2,
+                   "line " << line_number << ": usage: switch <name>");
+      AAPC_REQUIRE(by_name.count(tokens[1]) == 0,
+                   "line " << line_number << ": duplicate node '" << tokens[1]
+                           << "'");
+      by_name[tokens[1]] = topo.add_switch(tokens[1]);
+    } else if (directive == "machine") {
+      AAPC_REQUIRE(tokens.size() == 2 || tokens.size() == 3,
+                   "line " << line_number
+                           << ": usage: machine <name> [<switch>]");
+      AAPC_REQUIRE(by_name.count(tokens[1]) == 0,
+                   "line " << line_number << ": duplicate node '" << tokens[1]
+                           << "'");
+      by_name[tokens[1]] = topo.add_machine(tokens[1]);
+      if (tokens.size() == 3) {
+        links.push_back({tokens[1], tokens[2], line_number});
+      }
+    } else if (directive == "link") {
+      AAPC_REQUIRE(tokens.size() == 3,
+                   "line " << line_number << ": usage: link <a> <b>");
+      links.push_back({tokens[1], tokens[2], line_number});
+    } else {
+      throw InvalidArgument(str_cat("line ", line_number,
+                                    ": unknown directive '", directive, "'"));
+    }
+  }
+  for (const PendingLink& link : links) {
+    topo.add_link(lookup(link.a, link.line), lookup(link.b, link.line));
+  }
+  topo.finalize();
+  return topo;
+}
+
+Topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  AAPC_REQUIRE(in.good(), "cannot open topology file '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_topology(buffer.str());
+}
+
+std::string serialize_topology(const Topology& topo) {
+  std::ostringstream os;
+  os << "# " << topo.machine_count() << " machines, " << topo.switch_count()
+     << " switches\n";
+  for (NodeId node = 0; node < topo.node_count(); ++node) {
+    if (!topo.is_machine(node)) {
+      os << "switch " << topo.name(node) << '\n';
+    }
+  }
+  for (const NodeId machine : topo.machines()) {
+    os << "machine " << topo.name(machine) << '\n';
+  }
+  for (LinkId link = 0; link < topo.link_count(); ++link) {
+    const auto [a, b] = topo.link_endpoints(link);
+    os << "link " << topo.name(a) << ' ' << topo.name(b) << '\n';
+  }
+  return os.str();
+}
+
+std::string describe_topology(const Topology& topo,
+                              double link_bandwidth_bytes_per_sec) {
+  std::ostringstream os;
+  os << "topology: " << topo.machine_count() << " machines, "
+     << topo.switch_count() << " switches, " << topo.link_count()
+     << " links\n";
+  os << "per-link AAPC loads:\n";
+  for (LinkId link = 0; link < topo.link_count(); ++link) {
+    const auto [a, b] = topo.link_endpoints(link);
+    os << "  (" << topo.name(a) << ", " << topo.name(b)
+       << "): " << topo.aapc_link_load(link) << '\n';
+  }
+  const LinkId bottleneck = topo.bottleneck_link();
+  const auto [a, b] = topo.link_endpoints(bottleneck);
+  os << "bottleneck: (" << topo.name(a) << ", " << topo.name(b)
+     << ") with load " << topo.aapc_load() << '\n';
+  os << "peak aggregate AAPC throughput at "
+     << format_double(
+            bytes_per_sec_to_mbps(link_bandwidth_bytes_per_sec), 0)
+     << " Mbps links: "
+     << format_double(bytes_per_sec_to_mbps(topo.peak_aggregate_throughput(
+                          link_bandwidth_bytes_per_sec)),
+                      1)
+     << " Mbps\n";
+  return os.str();
+}
+
+std::string to_dot(const Topology& topo) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  std::ostringstream os;
+  os << "graph cluster {\n  graph [rankdir=TB];\n";
+  for (NodeId node = 0; node < topo.node_count(); ++node) {
+    if (topo.is_machine(node)) {
+      os << "  \"" << topo.name(node) << "\" [shape=ellipse];\n";
+    } else {
+      os << "  \"" << topo.name(node)
+         << "\" [shape=box, style=filled, fillcolor=lightgray];\n";
+    }
+  }
+  const std::int64_t bottleneck_load =
+      topo.machine_count() >= 2 ? topo.aapc_load() : 0;
+  for (LinkId link = 0; link < topo.link_count(); ++link) {
+    const auto [a, b] = topo.link_endpoints(link);
+    os << "  \"" << topo.name(a) << "\" -- \"" << topo.name(b) << "\"";
+    if (topo.machine_count() >= 2) {
+      const std::int64_t load = topo.aapc_link_load(link);
+      os << " [label=\"" << load << "\"";
+      if (load == bottleneck_load) {
+        os << ", penwidth=3";
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aapc::topology

@@ -1,0 +1,41 @@
+// Text serialization of topologies — the input format of the automatic
+// routine generator (§5: "takes the topology information as input").
+//
+// Format (one directive per line, '#' starts a comment):
+//   switch  <name>
+//   machine <name> [<attached-switch>]
+//   link    <name-a> <name-b>
+//
+// `machine n0 s0` is shorthand for `machine n0` + `link n0 s0`.
+// Machines are ranked in file order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::topology {
+
+/// Parse a topology description; throws InvalidArgument with a line
+/// number on malformed input. The result is finalized.
+Topology parse_topology(std::string_view text);
+
+/// Read and parse a .topo file from disk.
+Topology load_topology_file(const std::string& path);
+
+/// Serialize in the format accepted by parse_topology (round-trips).
+std::string serialize_topology(const Topology& topo);
+
+/// Human-oriented summary: node counts, per-link AAPC loads, bottleneck,
+/// peak throughput at the given bandwidth.
+std::string describe_topology(const Topology& topo,
+                              double link_bandwidth_bytes_per_sec);
+
+/// Graphviz DOT rendering (undirected): switches as boxes, machines as
+/// ellipses, links labelled with their AAPC load, the bottleneck link
+/// drawn bold. Render with `dot -Tsvg cluster.dot -o cluster.svg`.
+std::string to_dot(const Topology& topo);
+
+}  // namespace aapc::topology

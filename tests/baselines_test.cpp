@@ -1,0 +1,164 @@
+// Tests for the LAM and MPICH baseline algorithms (§6): exact posting
+// orders, dispatcher size thresholds, and end-to-end delivery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aapc/baselines/baselines.hpp"
+#include "aapc/common/error.hpp"
+#include "aapc/mpisim/executor.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::baselines {
+namespace {
+
+using mpisim::Op;
+using mpisim::OpKind;
+using mpisim::Program;
+using mpisim::ProgramSet;
+using topology::make_single_switch;
+using topology::Topology;
+
+std::vector<topology::Rank> send_order(const Program& program) {
+  std::vector<topology::Rank> order;
+  for (const Op& op : program.ops) {
+    if (op.kind == OpKind::kIsend) order.push_back(op.peer);
+  }
+  return order;
+}
+
+std::vector<topology::Rank> recv_order(const Program& program) {
+  std::vector<topology::Rank> order;
+  for (const Op& op : program.ops) {
+    if (op.kind == OpKind::kIrecv) order.push_back(op.peer);
+  }
+  return order;
+}
+
+void expect_full_exchange(const ProgramSet& set, std::int32_t ranks) {
+  ASSERT_EQ(set.rank_count(), ranks);
+  for (topology::Rank r = 0; r < ranks; ++r) {
+    const auto sends = send_order(set.programs[r]);
+    const auto recvs = recv_order(set.programs[r]);
+    EXPECT_EQ(sends.size(), static_cast<std::size_t>(ranks - 1));
+    EXPECT_EQ(recvs.size(), static_cast<std::size_t>(ranks - 1));
+    EXPECT_EQ(std::set<topology::Rank>(sends.begin(), sends.end()).size(),
+              sends.size());
+    EXPECT_EQ(std::set<topology::Rank>(recvs.begin(), recvs.end()).size(),
+              recvs.size());
+  }
+}
+
+TEST(BaselinesTest, LamSendOrderIsZeroToN) {
+  const ProgramSet set = lam_alltoall(5, 1024);
+  expect_full_exchange(set, 5);
+  // Rank 2 sends in order 0, 1, 3, 4 (self skipped).
+  EXPECT_EQ(send_order(set.programs[2]),
+            (std::vector<topology::Rank>{0, 1, 3, 4}));
+}
+
+TEST(BaselinesTest, MpichOrderedStartsAfterSelf) {
+  const ProgramSet set = mpich_ordered_alltoall(5, 1024);
+  expect_full_exchange(set, 5);
+  // Rank 2 sends in order 3, 4, 0, 1.
+  EXPECT_EQ(send_order(set.programs[2]),
+            (std::vector<topology::Rank>{3, 4, 0, 1}));
+}
+
+TEST(BaselinesTest, PairwiseUsesXorPartners) {
+  const ProgramSet set = mpich_pairwise_alltoall(8, 1024);
+  expect_full_exchange(set, 8);
+  // Rank 3 partners: 3^1=2, 3^2=1, 3^3=0, 3^4=7, 3^5=6, 3^6=5, 3^7=4.
+  EXPECT_EQ(send_order(set.programs[3]),
+            (std::vector<topology::Rank>{2, 1, 0, 7, 6, 5, 4}));
+  // Each step is a blocking sendrecv: irecv, isend, wait, wait.
+  const Program& p = set.programs[0];
+  ASSERT_GE(p.ops.size(), 5u);
+  EXPECT_EQ(p.ops[0].kind, OpKind::kCopy);
+  EXPECT_EQ(p.ops[1].kind, OpKind::kIrecv);
+  EXPECT_EQ(p.ops[2].kind, OpKind::kIsend);
+  EXPECT_EQ(p.ops[3].kind, OpKind::kWait);
+  EXPECT_EQ(p.ops[4].kind, OpKind::kWait);
+}
+
+TEST(BaselinesTest, PairwiseRequiresPowerOfTwo) {
+  EXPECT_THROW(mpich_pairwise_alltoall(24, 1024), InvalidArgument);
+  EXPECT_NO_THROW(mpich_pairwise_alltoall(32, 1024));
+}
+
+TEST(BaselinesTest, RingSendsForwardReceivesBackward) {
+  const ProgramSet set = mpich_ring_alltoall(5, 1024);
+  expect_full_exchange(set, 5);
+  EXPECT_EQ(send_order(set.programs[1]),
+            (std::vector<topology::Rank>{2, 3, 4, 0}));
+  EXPECT_EQ(recv_order(set.programs[1]),
+            (std::vector<topology::Rank>{0, 4, 3, 2}));
+}
+
+TEST(BaselinesTest, DispatcherPicksBySizeAndNodeCount) {
+  // <= 32 KB: ordered nonblocking regardless of node count.
+  {
+    const ProgramSet set = mpich_alltoall(24, 32768);
+    // Ordered algorithm posts everything then waits once.
+    std::int64_t waits = 0;
+    for (const Op& op : set.programs[0].ops) {
+      if (op.kind == OpKind::kWait) ++waits;
+    }
+    EXPECT_EQ(waits, 0);
+  }
+  // > 32 KB, power of two: pairwise (xor partners).
+  {
+    const ProgramSet set = mpich_alltoall(32, 65536);
+    EXPECT_EQ(send_order(set.programs[3])[0], 3 ^ 1);
+  }
+  // > 32 KB, non power of two: ring.
+  {
+    const ProgramSet set = mpich_alltoall(24, 65536);
+    EXPECT_EQ(send_order(set.programs[3])[0], 4);
+    EXPECT_EQ(recv_order(set.programs[3])[0], 2);
+  }
+}
+
+TEST(BaselinesTest, IsPowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(32));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(24));
+  EXPECT_FALSE(is_power_of_two(-4));
+}
+
+TEST(BaselinesTest, AllBaselinesExecuteOnSimulator) {
+  const Topology topo = make_single_switch(6);
+  simnet::NetworkParams net;
+  mpisim::ExecutorParams exec;
+  exec.wakeup_jitter_max = 0;
+  mpisim::Executor executor(topo, net, exec);
+  for (const ProgramSet& set :
+       {lam_alltoall(6, 4096), mpich_ordered_alltoall(6, 4096),
+        mpich_ring_alltoall(6, 65536)}) {
+    const mpisim::ExecutionResult result = executor.run(set);
+    EXPECT_EQ(result.message_count, 30) << set.name;
+    EXPECT_GT(result.completion_time, 0) << set.name;
+  }
+}
+
+TEST(BaselinesTest, PairwiseExecutesOnPowerOfTwoCluster) {
+  const Topology topo = make_single_switch(8);
+  simnet::NetworkParams net;
+  mpisim::ExecutorParams exec;
+  exec.wakeup_jitter_max = 0;
+  mpisim::Executor executor(topo, net, exec);
+  const mpisim::ExecutionResult result =
+      executor.run(mpich_pairwise_alltoall(8, 65536));
+  EXPECT_EQ(result.message_count, 56);
+}
+
+TEST(BaselinesTest, SingleRankDegenerates) {
+  const ProgramSet set = lam_alltoall(1, 1024);
+  ASSERT_EQ(set.rank_count(), 1);
+  // Only the self copy remains.
+  EXPECT_EQ(set.programs[0].request_count(), 0);
+}
+
+}  // namespace
+}  // namespace aapc::baselines

@@ -1,0 +1,277 @@
+// Executes the generated C routine for real: compiles the emitted
+// MPI_Alltoall for the paper's Figure-1 cluster together with a
+// thread-backed mock MPI runtime, runs all six ranks, and checks every
+// byte of every receive buffer. This closes the loop on codegen — not
+// just "compiles", but "moves the right data".
+//
+// The mock runtime implements eager, unlimited-buffering semantics
+// (Isend completes immediately after depositing into a mailbox;
+// Irecv/Wait block until a (src, dst, tag) match arrives), which is a
+// legal MPI execution and sufficient to validate data movement and
+// deadlock-freedom of the generated program order.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "aapc/codegen/codegen.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::codegen {
+namespace {
+
+constexpr const char* kMockRuntime = R"RAW(
+// Thread-backed mock MPI: one std::thread per rank, a global mailbox
+// keyed by (src, dst, tag). Eager sends, blocking receives.
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+typedef long MPI_Aint;
+typedef int MPI_Datatype;
+typedef int MPI_Comm;
+typedef int MPI_Request;
+typedef struct { int ignored; } MPI_Status;
+#define MPI_SUCCESS 0
+#define MPI_ERR_COMM 5
+#define MPI_ERR_RANK 6
+#define MPI_CHAR 1
+#define MPI_STATUS_IGNORE ((MPI_Status*)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status*)0)
+
+namespace mock {
+
+int world_size = 0;
+thread_local int my_rank = -1;
+
+std::mutex mailbox_mutex;
+std::condition_variable mailbox_cv;
+std::map<std::tuple<int, int, int>, std::deque<std::vector<char>>> mailbox;
+
+// Requests are completed-at-creation for sends; receives block in
+// MPI_Wait. Each thread tracks its pending receives by request id.
+struct PendingRecv {
+  void* buffer;
+  size_t bytes;
+  int src;
+  int tag;
+  bool done;
+};
+thread_local std::vector<PendingRecv> pending;
+
+void drain_if_ready(PendingRecv& recv) {
+  // mailbox_mutex held.
+  auto it = mailbox.find({recv.src, my_rank, recv.tag});
+  if (it == mailbox.end() || it->second.empty()) return;
+  const std::vector<char>& payload = it->second.front();
+  if (payload.size() != recv.bytes) {
+    std::fprintf(stderr, "size mismatch %zu != %zu (src %d tag %d)\n",
+                 payload.size(), recv.bytes, recv.src, recv.tag);
+    std::abort();
+  }
+  std::memcpy(recv.buffer, payload.data(), payload.size());
+  it->second.pop_front();
+  recv.done = true;
+}
+
+}  // namespace mock
+
+int MPI_Comm_rank(MPI_Comm, int* rank) {
+  *rank = mock::my_rank;
+  return MPI_SUCCESS;
+}
+int MPI_Comm_size(MPI_Comm, int* size) {
+  *size = mock::world_size;
+  return MPI_SUCCESS;
+}
+int MPI_Type_get_extent(MPI_Datatype, MPI_Aint* lb, MPI_Aint* extent) {
+  *lb = 0;
+  *extent = 1;  // MPI_CHAR
+  return MPI_SUCCESS;
+}
+int MPI_Isend(const void* buffer, int count, MPI_Datatype, int dst, int tag,
+              MPI_Comm, MPI_Request* request) {
+  {
+    std::lock_guard<std::mutex> lock(mock::mailbox_mutex);
+    auto& queue = mock::mailbox[{mock::my_rank, dst, tag}];
+    queue.emplace_back(static_cast<const char*>(buffer),
+                       static_cast<const char*>(buffer) + count);
+  }
+  mock::mailbox_cv.notify_all();
+  *request = -1;  // send requests complete immediately
+  return MPI_SUCCESS;
+}
+int MPI_Irecv(void* buffer, int count, MPI_Datatype, int src, int tag,
+              MPI_Comm, MPI_Request* request) {
+  mock::pending.push_back(
+      {buffer, static_cast<size_t>(count), src, tag, false});
+  *request = static_cast<int>(mock::pending.size()) - 1;
+  return MPI_SUCCESS;
+}
+int MPI_Wait(MPI_Request* request, MPI_Status*) {
+  if (*request < 0) return MPI_SUCCESS;  // completed send
+  mock::PendingRecv& recv =
+      mock::pending[static_cast<size_t>(*request)];
+  std::unique_lock<std::mutex> lock(mock::mailbox_mutex);
+  mock::mailbox_cv.wait(lock, [&recv] {
+    if (!recv.done) mock::drain_if_ready(recv);
+    return recv.done;
+  });
+  return MPI_SUCCESS;
+}
+int MPI_Waitall(int, MPI_Request*, MPI_Status*) {
+  std::unique_lock<std::mutex> lock(mock::mailbox_mutex);
+  mock::mailbox_cv.wait(lock, [] {
+    for (auto& recv : mock::pending) {
+      if (!recv.done) mock::drain_if_ready(recv);
+      if (!recv.done) return false;
+    }
+    return true;
+  });
+  return MPI_SUCCESS;
+}
+int MPI_Barrier(MPI_Comm) {
+  static std::mutex barrier_mutex;
+  static std::condition_variable barrier_cv;
+  static int arrived = 0;
+  static int generation = 0;
+  std::unique_lock<std::mutex> lock(barrier_mutex);
+  const int my_generation = generation;
+  if (++arrived == mock::world_size) {
+    arrived = 0;
+    ++generation;
+    barrier_cv.notify_all();
+  } else {
+    barrier_cv.wait(lock,
+                    [my_generation] { return generation != my_generation; });
+  }
+  return MPI_SUCCESS;
+}
+
+#include "generated_alltoall.c"
+
+int main() {
+  constexpr int kRanks = 6;
+  constexpr int kBlock = 64;  // bytes per (src, dst) block
+  mock::world_size = kRanks;
+
+  char send[kRanks][kRanks * kBlock];
+  char recv[kRanks][kRanks * kBlock];
+  for (int rank = 0; rank < kRanks; ++rank) {
+    for (int dst = 0; dst < kRanks; ++dst) {
+      std::memset(&send[rank][dst * kBlock],
+                  (rank * kRanks + dst) % 251, kBlock);
+    }
+    std::memset(recv[rank], 0xEE, sizeof(recv[rank]));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> status(kRanks, -1);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    threads.emplace_back([rank, &send, &recv, &status] {
+      mock::my_rank = rank;
+      status[rank] = AAPC_Alltoall(send[rank], kBlock, MPI_CHAR,
+                                   recv[rank], kBlock, MPI_CHAR, 0);
+      {
+        // Pending receives are thread-local; clear before exit.
+        std::lock_guard<std::mutex> lock(mock::mailbox_mutex);
+        mock::pending.clear();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  int failures = 0;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    if (status[rank] != MPI_SUCCESS) {
+      std::fprintf(stderr, "rank %d returned %d\n", rank, status[rank]);
+      ++failures;
+    }
+    for (int src = 0; src < kRanks; ++src) {
+      const char expected =
+          static_cast<char>((src * kRanks + rank) % 251);
+      for (int i = 0; i < kBlock; ++i) {
+        if (recv[rank][src * kBlock + i] != expected) {
+          std::fprintf(stderr,
+                       "rank %d: wrong byte from src %d at offset %d\n",
+                       rank, src, i);
+          ++failures;
+          break;
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mock::mailbox_mutex);
+    for (const auto& [key, queue] : mock::mailbox) {
+      if (!queue.empty()) {
+        std::fprintf(stderr, "leftover messages in mailbox\n");
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) std::printf("ALLTOALL_OK\n");
+  return failures == 0 ? 0 : 1;
+}
+)RAW";
+
+void run_generated(const std::string& code, const std::string& label) {
+  const std::string dir = ::testing::TempDir();
+  const std::string source = dir + "/mock_runtime_" + label + ".cpp";
+  const std::string generated = dir + "/generated_alltoall.c";
+  const std::string binary = dir + "/alltoall_exec_" + label;
+  {
+    std::ofstream out(generated);
+    // The generated file includes <mpi.h>; the harness defines the mock
+    // before including the generated source, so strip the includes.
+    std::string body = code;
+    const auto strip = [&body](const std::string& line) {
+      const std::size_t pos = body.find(line);
+      if (pos != std::string::npos) body.erase(pos, line.size());
+    };
+    strip("#include <mpi.h>\n");
+    strip("#include <string.h>\n");
+    out << body;
+    std::ofstream harness(source);
+    harness << kMockRuntime;
+  }
+  const std::string compile = "c++ -std=c++17 -pthread -O1 -I" + dir + " " +
+                              source + " -o " + binary + " 2>" + dir +
+                              "/compile_" + label + ".log";
+  ASSERT_EQ(std::system(compile.c_str()), 0)
+      << "generated routine failed to compile with the mock runtime";
+  const std::string run = "timeout 60 " + binary + " > " + dir + "/run_" +
+                          label + ".log 2>&1";
+  ASSERT_EQ(std::system(run.c_str()), 0)
+      << "generated routine produced wrong data or deadlocked";
+}
+
+TEST(CodegenExecutionTest, PairwiseRoutineMovesAllData) {
+  if (std::system("which c++ > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no C++ compiler available";
+  }
+  const topology::Topology topo = topology::make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  run_generated(generate_alltoall_c(topo, schedule), "pairwise");
+}
+
+TEST(CodegenExecutionTest, BarrierRoutineMovesAllData) {
+  if (std::system("which c++ > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no C++ compiler available";
+  }
+  const topology::Topology topo = topology::make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  CodegenOptions options;
+  options.lowering.sync = lowering::SyncMode::kBarrier;
+  run_generated(generate_alltoall_c(topo, schedule, options), "barrier");
+}
+
+}  // namespace
+}  // namespace aapc::codegen

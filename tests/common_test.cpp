@@ -1,0 +1,222 @@
+// Unit tests for the aapc::common utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aapc/common/cli.hpp"
+#include "aapc/common/log.hpp"
+#include "aapc/common/error.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/common/strings.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/common/units.hpp"
+
+namespace aapc {
+namespace {
+
+TEST(ErrorTest, CheckThrowsInternalError) {
+  EXPECT_THROW(AAPC_CHECK(1 == 2), InternalError);
+  EXPECT_NO_THROW(AAPC_CHECK(1 == 1));
+}
+
+TEST(ErrorTest, CheckMessageIncludesExpressionAndDetail) {
+  try {
+    AAPC_CHECK_MSG(false, "detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("detail 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(AAPC_REQUIRE(false, "bad input"), InvalidArgument);
+}
+
+TEST(LogTest, LevelThresholding) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace));
+  // The macro path: must not crash and must respect the level.
+  AAPC_DEBUG("debug message " << 42);
+  set_log_level(saved);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowHitsAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringsTest, SplitKeepsEmptyTokens) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringsTest, ParseU64) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64(" 123 "), 123u);
+  EXPECT_THROW(parse_u64("12x"), InvalidArgument);
+  EXPECT_THROW(parse_u64(""), InvalidArgument);
+}
+
+TEST(StringsTest, ParseSizeSuffixes) {
+  EXPECT_EQ(parse_size("64K"), 64u * 1024);
+  EXPECT_EQ(parse_size("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_size("1G"), 1024u * 1024 * 1024);
+  EXPECT_EQ(parse_size("100"), 100u);
+  EXPECT_EQ(parse_size("100B"), 100u);
+}
+
+TEST(StringsTest, FormatSizeRoundTrips) {
+  for (const char* text : {"1K", "64K", "3M", "7", "1G"}) {
+    EXPECT_EQ(format_size(parse_size(text)), text);
+  }
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(TableTest, RenderAlignsColumns) {
+  TextTable table;
+  table.set_header({"msize", "LAM"});
+  table.add_row({"8KB", "29.7"});
+  table.add_row({"256KB", "1157"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("msize"), std::string::npos);
+  EXPECT_NE(text.find("256KB"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  TextTable table;
+  table.add_row({"a,b", "plain", "q\"uote"});
+  EXPECT_EQ(table.render_csv(), "\"a,b\",plain,\"q\"\"uote\"\n");
+}
+
+TEST(UnitsTest, BandwidthConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(100.0), 12.5e6);
+  EXPECT_DOUBLE_EQ(bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(123.0)), 123.0);
+}
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(64_KiB, 65536u);
+  EXPECT_EQ(1_MiB, 1048576u);
+}
+
+TEST(CliTest, ParsesFlagsAndPositionals) {
+  CliParser cli("usage");
+  cli.add_flag("msize", "message size", "8K");
+  cli.add_flag("verbose", "chatty", "false");
+  const char* argv[] = {"prog", "--msize=64K", "topo.txt", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get("msize"), "64K");
+  EXPECT_EQ(cli.get_u64("msize", 0), 64u * 1024);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "topo.txt");
+}
+
+TEST(CliTest, UnknownFlagThrows) {
+  CliParser cli("usage");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliTest, SeparateValueToken) {
+  CliParser cli("usage");
+  cli.add_flag("topo", "file");
+  const char* argv[] = {"prog", "--topo", "file.topo"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("topo"), "file.topo");
+}
+
+TEST(CliTest, DefaultsApply) {
+  CliParser cli("usage");
+  cli.add_flag("msize", "message size", "8K");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("msize"), "8K");
+  EXPECT_EQ(cli.get_u64("iters", 5), 5u);
+}
+
+}  // namespace
+}  // namespace aapc

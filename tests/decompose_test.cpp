@@ -1,0 +1,189 @@
+// Tests for root identification and subtree decomposition (§4.1).
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/core/decompose.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::core {
+namespace {
+
+using topology::make_chain;
+using topology::make_paper_figure1;
+using topology::make_paper_topology_a;
+using topology::make_paper_topology_b;
+using topology::make_paper_topology_c;
+using topology::make_random_tree;
+using topology::make_single_switch;
+using topology::RandomTreeOptions;
+using topology::Topology;
+
+TEST(DecomposeTest, PaperFigure1RootAndSubtrees) {
+  // The Figure-1 bottleneck (s0, s1) splits the machines 3/3, so both
+  // endpoints are valid roots; the paper's worked example uses s1. Pin it
+  // with decompose_at and check the §4.2 subtree structure.
+  const Topology topo = make_paper_figure1();
+  const Decomposition dec = decompose_at(topo, *topo.find_node("s1"));
+  ASSERT_EQ(dec.subtree_count(), 3);
+  // t0 = {n0,n1,n2}, t1 = {n3,n4}, t2 = {n5} (§4.2's worked example).
+  EXPECT_EQ(dec.subtrees[0], (std::vector<topology::Rank>{0, 1, 2}));
+  EXPECT_EQ(dec.subtrees[1], (std::vector<topology::Rank>{3, 4}));
+  EXPECT_EQ(dec.subtrees[2], (std::vector<topology::Rank>{5}));
+  EXPECT_EQ(dec.total_phases(), 9);
+
+  // The automatic procedure must also pick a valid root touching the
+  // bottleneck (either endpoint).
+  const Decomposition automatic = decompose(topo);
+  const std::string root = topo.name(automatic.root);
+  EXPECT_TRUE(root == "s0" || root == "s1") << root;
+  EXPECT_EQ(automatic.total_phases(), 9);
+}
+
+TEST(DecomposeTest, DecomposeAtRejectsInvalidRoots) {
+  const Topology topo = make_paper_figure1();
+  // s3's subtree through s1 holds 4 > |M|/2 machines.
+  EXPECT_THROW(decompose_at(topo, *topo.find_node("s3")), InvalidArgument);
+  // Machines cannot be roots.
+  EXPECT_THROW(decompose_at(topo, *topo.find_node("n0")), InvalidArgument);
+}
+
+TEST(DecomposeTest, DecomposeAtAcceptsBothBottleneckEndpoints) {
+  const Topology topo = make_paper_figure1();
+  for (const char* name : {"s0", "s1"}) {
+    const Decomposition dec = decompose_at(topo, *topo.find_node(name));
+    EXPECT_EQ(dec.total_phases(), topo.aapc_load());
+  }
+}
+
+TEST(DecomposeTest, SingleSwitchYieldsSingletonSubtrees) {
+  const Topology topo = make_single_switch(24);
+  const Decomposition dec = decompose(topo);
+  EXPECT_EQ(topo.name(dec.root), "s0");
+  EXPECT_EQ(dec.subtree_count(), 24);
+  for (std::int32_t i = 0; i < dec.subtree_count(); ++i) {
+    EXPECT_EQ(dec.subtree_size(i), 1);
+  }
+  EXPECT_EQ(dec.total_phases(), 23);
+}
+
+TEST(DecomposeTest, StarRootIsHub) {
+  const Topology topo = make_paper_topology_b();
+  const Decomposition dec = decompose(topo);
+  EXPECT_EQ(topo.name(dec.root), "s0");
+  // Hub machines are singleton subtrees; leaf switches give three
+  // 8-machine subtrees: sizes sorted 8,8,8,1,...,1.
+  ASSERT_EQ(dec.subtree_count(), 3 + 8);
+  EXPECT_EQ(dec.subtree_size(0), 8);
+  EXPECT_EQ(dec.subtree_size(2), 8);
+  EXPECT_EQ(dec.subtree_size(3), 1);
+  EXPECT_EQ(dec.total_phases(), 8 * 24);
+}
+
+TEST(DecomposeTest, ChainRootTouchesMiddleLink) {
+  const Topology topo = make_paper_topology_c();
+  const Decomposition dec = decompose(topo);
+  // Bottleneck is (s1, s2); the root must be one of them. Its subtrees
+  // are the 16 machines across the middle link, the 8 machines behind
+  // the outer switch, and its own 8 machines as singletons.
+  const std::string root = topo.name(dec.root);
+  EXPECT_TRUE(root == "s1" || root == "s2");
+  ASSERT_EQ(dec.subtree_count(), 10);
+  EXPECT_EQ(dec.subtree_size(0), 16);
+  EXPECT_EQ(dec.subtree_size(1), 8);
+  EXPECT_EQ(dec.subtree_size(2), 1);
+  EXPECT_EQ(dec.total_phases(), 256);
+}
+
+TEST(DecomposeTest, WalksUpDegenerateChain) {
+  // A chain where all machines sit at the far ends: every chain link is
+  // a bottleneck (3 x 2 = 6) and any root choice must stay optimal. The
+  // end switch s0 hosting three machine branches is one valid root (its
+  // subtrees are {n3,n4} via the chain plus three singletons).
+  const Topology topo = make_chain({3, 0, 0, 2});
+  const Decomposition dec = decompose(topo);
+  EXPECT_EQ(topo.aapc_load(), 6);
+  EXPECT_EQ(dec.total_phases(), 6);
+  EXPECT_LE(dec.subtree_size(0), 2);
+
+  // Pinning an interior machine-free switch also works: subtrees {3, 2}.
+  const Decomposition interior = decompose_at(topo, *topo.find_node("s1"));
+  ASSERT_EQ(interior.subtree_count(), 2);
+  EXPECT_EQ(interior.subtree_size(0), 3);
+  EXPECT_EQ(interior.subtree_size(1), 2);
+  EXPECT_EQ(interior.total_phases(), 6);
+}
+
+TEST(DecomposeTest, LopsidedChainRoot) {
+  // 1 machine on s0, 9 on s3: bottleneck is any s-chain link (1*9) or a
+  // machine link on the heavy side... loads: chain links 1x9=9, machine
+  // links 1x9=9 on s0's machine and 1x9 for each s3 machine. The root
+  // must still split subtrees so that none exceeds |M|/2 = 5.
+  const Topology topo = make_chain({1, 0, 0, 9});
+  const Decomposition dec = decompose(topo);
+  for (std::int32_t i = 0; i < dec.subtree_count(); ++i) {
+    EXPECT_LE(2 * dec.subtree_size(i), topo.machine_count());
+  }
+  EXPECT_EQ(dec.total_phases(), topo.aapc_load());
+}
+
+TEST(DecomposeTest, RequiresThreeMachines) {
+  const Topology topo = make_single_switch(2);
+  EXPECT_THROW(decompose(topo), InvalidArgument);
+}
+
+TEST(DecomposeTest, PositionMapsAreConsistent) {
+  const Topology topo = make_paper_topology_c();
+  const Decomposition dec = decompose(topo);
+  for (topology::Rank r = 0; r < topo.machine_count(); ++r) {
+    const std::int32_t i = dec.subtree_of[r];
+    const std::int32_t x = dec.index_in_subtree[r];
+    ASSERT_GE(i, 0);
+    ASSERT_GE(x, 0);
+    EXPECT_EQ(dec.subtrees[i][static_cast<std::size_t>(x)], r);
+  }
+}
+
+// Lemma 1 + optimality over randomized trees.
+class DecomposeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecomposeRandomTest, Lemma1AndLoadOptimality) {
+  Rng rng(GetParam());
+  RandomTreeOptions options;
+  options.switches = static_cast<std::int32_t>(rng.next_in(1, 10));
+  options.machines = static_cast<std::int32_t>(rng.next_in(3, 40));
+  options.max_switch_degree = static_cast<std::int32_t>(rng.next_in(1, 4));
+  const Topology topo = make_random_tree(rng, options);
+  const Decomposition dec = decompose(topo);
+
+  // Lemma 1: every subtree holds at most |M|/2 machines.
+  std::int32_t total = 0;
+  for (std::int32_t i = 0; i < dec.subtree_count(); ++i) {
+    EXPECT_LE(2 * dec.subtree_size(i), topo.machine_count());
+    if (i > 0) {
+      EXPECT_LE(dec.subtree_size(i), dec.subtree_size(i - 1));
+    }
+    total += dec.subtree_size(i);
+  }
+  EXPECT_EQ(total, topo.machine_count());
+
+  // §4: |M0| * (|M| - |M0|) equals the AAPC load (schedule optimality).
+  EXPECT_EQ(dec.total_phases(), topo.aapc_load());
+
+  // The root touches a bottleneck link.
+  bool adjacent_to_bottleneck = false;
+  for (topology::LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto [a, b] = topo.link_endpoints(l);
+    if ((a == dec.root || b == dec.root) &&
+        topo.aapc_link_load(l) == topo.aapc_load()) {
+      adjacent_to_bottleneck = true;
+    }
+  }
+  EXPECT_TRUE(adjacent_to_bottleneck);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace aapc::core

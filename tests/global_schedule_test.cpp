@@ -1,0 +1,124 @@
+// Tests for the extended ring scheduling (§4.2): Table 1, Figure 3, and
+// Lemma 2 over randomized subtree-size vectors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/core/global_schedule.hpp"
+
+namespace aapc::core {
+namespace {
+
+TEST(GlobalScheduleTest, RingTable) {
+  // Table 1: with k singleton subtrees, ti -> tj runs at phase j-i-1
+  // (j > i) or (k-1)-(i-j) (i > j).
+  const std::int32_t k = 6;
+  const GlobalSchedule gs(std::vector<std::int32_t>(k, 1));
+  EXPECT_EQ(gs.total_phases(), k - 1);
+  for (std::int32_t i = 0; i < k; ++i) {
+    for (std::int32_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(gs.group_start(i, j), GlobalSchedule::ring_phase(i, j, k))
+          << "i=" << i << " j=" << j;
+      EXPECT_EQ(gs.group_length(i, j), 1);
+    }
+  }
+}
+
+TEST(GlobalScheduleTest, PaperFigure3) {
+  // Figure 3: subtree sizes {3, 2, 1} -> 9 phases with
+  //   t0->t1: 0..5,  t0->t2: 6..8,  t1->t2: 0..1,
+  //   t1->t0: 3..8,  t2->t0: 0..2,  t2->t1: 7..8.
+  const GlobalSchedule gs({3, 2, 1});
+  EXPECT_EQ(gs.total_phases(), 9);
+  EXPECT_EQ(gs.group_start(0, 1), 0);
+  EXPECT_EQ(gs.group_length(0, 1), 6);
+  EXPECT_EQ(gs.group_start(0, 2), 6);
+  EXPECT_EQ(gs.group_length(0, 2), 3);
+  EXPECT_EQ(gs.group_start(1, 2), 0);
+  EXPECT_EQ(gs.group_length(1, 2), 2);
+  EXPECT_EQ(gs.group_start(1, 0), 3);
+  EXPECT_EQ(gs.group_length(1, 0), 6);
+  EXPECT_EQ(gs.group_start(2, 0), 0);
+  EXPECT_EQ(gs.group_length(2, 0), 3);
+  EXPECT_EQ(gs.group_start(2, 1), 7);
+  EXPECT_EQ(gs.group_length(2, 1), 2);
+}
+
+TEST(GlobalScheduleTest, RejectsBadSizes) {
+  EXPECT_THROW(GlobalSchedule({3}), InvalidArgument);
+  EXPECT_THROW(GlobalSchedule({2, 3}), InvalidArgument);  // not sorted
+  EXPECT_THROW(GlobalSchedule({2, 0}), InvalidArgument);  // empty subtree
+}
+
+TEST(GlobalScheduleTest, SendingGroupLookup) {
+  const GlobalSchedule gs({3, 2, 1});
+  EXPECT_EQ(gs.sending_group_at(0, 0), (std::pair<std::int32_t, std::int32_t>{0, 1}));
+  EXPECT_EQ(gs.sending_group_at(0, 7), (std::pair<std::int32_t, std::int32_t>{0, 2}));
+  EXPECT_EQ(gs.sending_group_at(1, 2),
+            (std::pair<std::int32_t, std::int32_t>{-1, -1}));  // t1 idle
+  EXPECT_EQ(gs.sending_group_at(2, 1), (std::pair<std::int32_t, std::int32_t>{2, 0}));
+}
+
+// Lemma 2 over random size vectors: (1) groups out of each subtree and
+// into each subtree tile disjoint spans inside [0, P); (2) per phase, at
+// most one group sends from ti and at most one receives into tj (no
+// contention on root links).
+class GlobalScheduleRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalScheduleRandomTest, Lemma2SpansAreExclusive) {
+  Rng rng(GetParam());
+  const auto k = static_cast<std::int32_t>(rng.next_in(2, 9));
+  std::vector<std::int32_t> sizes(k);
+  for (auto& s : sizes) s = static_cast<std::int32_t>(rng.next_in(1, 7));
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const GlobalSchedule gs(sizes);
+  const std::int64_t P = gs.total_phases();
+
+  std::int64_t total_cells = 0;
+  for (std::int32_t i = 0; i < k; ++i) {
+    // Sending spans of subtree i must not overlap each other.
+    std::vector<char> sending(static_cast<std::size_t>(P), 0);
+    // Receiving spans into subtree i must not overlap each other.
+    std::vector<char> receiving(static_cast<std::size_t>(P), 0);
+    for (std::int32_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const std::int64_t out_start = gs.group_start(i, j);
+      ASSERT_GE(out_start, 0) << "i=" << i << " j=" << j;
+      ASSERT_LE(out_start + gs.group_length(i, j), P);
+      for (std::int64_t q = 0; q < gs.group_length(i, j); ++q) {
+        char& cell = sending[static_cast<std::size_t>(out_start + q)];
+        EXPECT_EQ(cell, 0) << "subtree " << i << " sends twice in phase "
+                           << out_start + q;
+        cell = 1;
+        ++total_cells;
+      }
+      const std::int64_t in_start = gs.group_start(j, i);
+      for (std::int64_t q = 0; q < gs.group_length(j, i); ++q) {
+        char& cell = receiving[static_cast<std::size_t>(in_start + q)];
+        EXPECT_EQ(cell, 0) << "subtree " << i << " receives twice in phase "
+                           << in_start + q;
+        cell = 1;
+      }
+    }
+  }
+  // Total group cells = sum over pairs |Mi| |Mj| = (Σm)² - Σm².
+  std::int64_t m_total = 0;
+  std::int64_t m_sq = 0;
+  for (const std::int32_t s : sizes) {
+    m_total += s;
+    m_sq += static_cast<std::int64_t>(s) * s;
+  }
+  EXPECT_EQ(total_cells, m_total * m_total - m_sq);
+  // And subtree 0's sending spans exactly tile [0, P).
+  EXPECT_EQ(P, static_cast<std::int64_t>(sizes[0]) * (m_total - sizes[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalScheduleRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 80));
+
+}  // namespace
+}  // namespace aapc::core

@@ -1,0 +1,302 @@
+// Tests for the generic (irregular-pattern) greedy scheduler and the
+// irregular-size lowering.
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/core/greedy.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/mpisim/executor.hpp"
+#include "aapc/trace/trace.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::core {
+namespace {
+
+using topology::make_chain;
+using topology::make_paper_figure1;
+using topology::make_single_switch;
+using topology::Topology;
+
+VerifyOptions lax() {
+  VerifyOptions options;
+  options.require_optimal_phase_count = false;
+  return options;
+}
+
+TEST(GreedyTest, AapcPatternHasAllOrderedPairs) {
+  const Topology topo = make_single_switch(5);
+  const Pattern pattern = aapc_pattern(topo);
+  EXPECT_EQ(pattern.size(), 20u);
+}
+
+TEST(GreedyTest, PatternLoadMatchesTopologyLoadForAapc) {
+  for (const Topology& topo :
+       {make_single_switch(6), make_chain({3, 4}), make_paper_figure1()}) {
+    EXPECT_EQ(pattern_load(topo, aapc_pattern(topo)), topo.aapc_load());
+  }
+}
+
+TEST(GreedyTest, SchedulesAreContentionFree) {
+  const Topology topo = make_paper_figure1();
+  const Pattern pattern = aapc_pattern(topo);
+  for (const auto order :
+       {GreedyOptions::Order::kInput, GreedyOptions::Order::kLongestPathFirst,
+        GreedyOptions::Order::kBottleneckFirst}) {
+    GreedyOptions options;
+    options.order = order;
+    const Schedule schedule = greedy_schedule(topo, pattern, options);
+    const VerifyReport report = verify_schedule(topo, schedule, lax());
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_GE(schedule.phase_count(), topo.aapc_load());
+  }
+}
+
+TEST(GreedyTest, NeverBeatsTheOptimalSchedulerOnAapc) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    topology::RandomTreeOptions options;
+    options.switches = static_cast<std::int32_t>(rng.next_in(1, 6));
+    options.machines = static_cast<std::int32_t>(rng.next_in(3, 16));
+    const Topology topo = topology::make_random_tree(rng, options);
+    const Schedule greedy = greedy_schedule(topo, aapc_pattern(topo));
+    const Schedule optimal = build_aapc_schedule(topo);
+    EXPECT_GE(greedy.phase_count(), optimal.phase_count());
+    // Greedy still lower-bounded by the pattern load.
+    EXPECT_GE(greedy.phase_count(), topo.aapc_load());
+  }
+}
+
+TEST(GreedyTest, IrregularPatternScheduled) {
+  // A sparse neighbor-exchange pattern: machine i talks to i+1 only.
+  const Topology topo = make_chain({3, 3});
+  Pattern pattern;
+  for (Rank r = 0; r + 1 < topo.machine_count(); ++r) {
+    pattern.push_back(Message{r, static_cast<Rank>(r + 1)});
+    pattern.push_back(Message{static_cast<Rank>(r + 1), r});
+  }
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  VerifyOptions options = lax();
+  const VerifyReport report = verify_schedule(topo, schedule, options);
+  // Coverage check (1) expects full AAPC, so only use the contention
+  // result here.
+  EXPECT_EQ(report.max_edge_multiplicity, 1);
+  EXPECT_EQ(schedule.message_count(),
+            static_cast<std::int64_t>(pattern.size()));
+}
+
+TEST(GreedyTest, DuplicateMessagesLandInDistinctPhases) {
+  const Topology topo = make_single_switch(3);
+  const Pattern pattern{Message{0, 1}, Message{0, 1}, Message{0, 1}};
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  EXPECT_EQ(schedule.phase_count(), 3);
+  for (const auto& phase : schedule.phases) {
+    EXPECT_EQ(phase.size(), 1u);
+  }
+}
+
+TEST(GreedyTest, EmptyPattern) {
+  const Topology topo = make_single_switch(3);
+  const Schedule schedule = greedy_schedule(topo, {});
+  EXPECT_EQ(schedule.phase_count(), 0);
+}
+
+TEST(GreedyTest, RejectsSelfAndOutOfRange) {
+  const Topology topo = make_single_switch(3);
+  EXPECT_THROW(greedy_schedule(topo, {Message{1, 1}}), InvalidArgument);
+  EXPECT_THROW(greedy_schedule(topo, {Message{0, 9}}), InvalidArgument);
+}
+
+TEST(GreedyTest, GreedyScheduleLowersAndRuns) {
+  // Full pipeline for an irregular pattern: greedy schedule -> pairwise
+  // sync lowering -> simulation; serialization holds.
+  const Topology topo = make_chain({4, 4});
+  Pattern pattern;
+  Rng rng(3);
+  for (int i = 0; i < 24; ++i) {
+    const auto src = static_cast<Rank>(rng.next_below(8));
+    const auto dst = static_cast<Rank>(rng.next_below(8));
+    if (src != dst) pattern.push_back(Message{src, dst});
+  }
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  lowering::LoweringOptions options;
+  options.include_self_copy = false;
+  const mpisim::ProgramSet set =
+      lowering::lower_schedule(topo, schedule, 64_KiB, options);
+  mpisim::ExecutorParams exec;
+  exec.record_trace = true;
+  mpisim::Executor executor(topo, {}, exec);
+  const mpisim::ExecutionResult result = executor.run(set);
+  EXPECT_EQ(trace::max_overlapping_contending_transfers(topo, result.trace),
+            1);
+}
+
+TEST(PatternBuildersTest, ScatterLoadAndOptimalGreedy) {
+  // Scatter from one machine: load = |M|-1 on the root uplink; greedy
+  // first-fit is optimal here (one message per phase crosses the root
+  // uplink, everything else is forced).
+  const Topology topo = make_single_switch(6);
+  const Pattern pattern = scatter_pattern(topo, 2);
+  EXPECT_EQ(pattern.size(), 5u);
+  EXPECT_EQ(pattern_load(topo, pattern), 5);
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  EXPECT_EQ(schedule.phase_count(), 5);
+}
+
+TEST(PatternBuildersTest, GatherMirrorsScatter) {
+  const Topology topo = make_chain({3, 3});
+  const Pattern scatter = scatter_pattern(topo, 0);
+  const Pattern gather = gather_pattern(topo, 0);
+  ASSERT_EQ(scatter.size(), gather.size());
+  EXPECT_EQ(pattern_load(topo, scatter), pattern_load(topo, gather));
+  for (std::size_t i = 0; i < scatter.size(); ++i) {
+    EXPECT_EQ(scatter[i].src, gather[i].dst);
+    EXPECT_EQ(scatter[i].dst, gather[i].src);
+  }
+}
+
+TEST(PatternBuildersTest, NeighborExchangeCounts) {
+  const Topology topo = make_single_switch(6);
+  // Radius 1: 2 messages per rank.
+  EXPECT_EQ(neighbor_exchange_pattern(topo, 1).size(), 12u);
+  // Radius 3 on 6 ranks: the +3 and -3 neighbors coincide -> 5/rank.
+  EXPECT_EQ(neighbor_exchange_pattern(topo, 3).size(), 30u);
+  // Radius |M|-1 covers the full AAPC pattern.
+  EXPECT_EQ(neighbor_exchange_pattern(topo, 5).size(),
+            aapc_pattern(topo).size());
+}
+
+TEST(PatternBuildersTest, NeighborExchangeSchedulesOnChain) {
+  const Topology topo = make_chain({4, 4});
+  const Pattern pattern = neighbor_exchange_pattern(topo, 2);
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  const VerifyReport report = verify_schedule(topo, schedule, lax());
+  EXPECT_EQ(report.max_edge_multiplicity, 1);
+  EXPECT_GE(schedule.phase_count(), pattern_load(topo, pattern));
+  // The halo pattern is far lighter than full AAPC.
+  EXPECT_LT(schedule.phase_count(), topo.aapc_load());
+}
+
+TEST(PatternVerifierTest, AcceptsGreedySchedules) {
+  const Topology topo = make_chain({4, 4});
+  const Pattern pattern = neighbor_exchange_pattern(topo, 2);
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  const VerifyReport report =
+      verify_schedule_pattern(topo, schedule, pattern);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(PatternVerifierTest, DetectsMissingAndExtraMessages) {
+  const Topology topo = make_single_switch(4);
+  const Pattern pattern{Message{0, 1}, Message{2, 3}};
+  Schedule schedule = greedy_schedule(topo, pattern);
+  // Drop one message.
+  Schedule missing = schedule;
+  missing.phases[0].pop_back();
+  EXPECT_FALSE(verify_schedule_pattern(topo, missing, pattern).ok);
+  // Add an unexpected one.
+  Schedule extra = schedule;
+  extra.phases.push_back({Message{1, 0}});
+  EXPECT_FALSE(verify_schedule_pattern(topo, extra, pattern).ok);
+}
+
+TEST(PatternVerifierTest, CountsMultiplicity) {
+  const Topology topo = make_single_switch(3);
+  const Pattern pattern{Message{0, 1}, Message{0, 1}};
+  const Schedule schedule = greedy_schedule(topo, pattern);
+  EXPECT_TRUE(verify_schedule_pattern(topo, schedule, pattern).ok);
+  // The same schedule does not satisfy a single-copy pattern.
+  EXPECT_FALSE(
+      verify_schedule_pattern(topo, schedule, {Message{0, 1}}).ok);
+}
+
+TEST(PatternVerifierTest, PhaseCountBelowLoadRejected) {
+  const Topology topo = make_single_switch(3);
+  // Two messages from rank 0 forced into one phase: contention AND a
+  // phase count below the pattern load.
+  Schedule schedule;
+  schedule.phases = {{Message{0, 1}, Message{0, 2}}};
+  const Pattern pattern{Message{0, 1}, Message{0, 2}};
+  const VerifyReport report =
+      verify_schedule_pattern(topo, schedule, pattern);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.max_edge_multiplicity, 2);
+}
+
+TEST(PatternBuildersTest, InvalidArgumentsRejected) {
+  const Topology topo = make_single_switch(4);
+  EXPECT_THROW(scatter_pattern(topo, 9), InvalidArgument);
+  EXPECT_THROW(gather_pattern(topo, -1), InvalidArgument);
+  EXPECT_THROW(neighbor_exchange_pattern(topo, 0), InvalidArgument);
+  EXPECT_THROW(neighbor_exchange_pattern(topo, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aapc::core
+
+namespace aapc::lowering {
+namespace {
+
+using topology::make_paper_figure1;
+using topology::Topology;
+
+TEST(IrregularLoweringTest, SizesFollowTheMatrix) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const std::size_t machines = 6;
+  std::vector<Bytes> sizes(machines * machines, 0);
+  for (std::size_t src = 0; src < machines; ++src) {
+    for (std::size_t dst = 0; dst < machines; ++dst) {
+      sizes[src * machines + dst] = 1000 * (src + 1) + dst;
+    }
+  }
+  const mpisim::ProgramSet set =
+      lower_schedule_irregular(topo, schedule, sizes);
+  for (core::Rank src = 0; src < 6; ++src) {
+    for (const mpisim::Op& op : set.programs[src].ops) {
+      if (op.kind == mpisim::OpKind::kIsend &&
+          op.tag < mpisim::kSyncTag) {
+        EXPECT_EQ(op.bytes, 1000u * (src + 1) + op.peer);
+      }
+      if (op.kind == mpisim::OpKind::kCopy) {
+        EXPECT_EQ(op.bytes, 1000u * (src + 1) + src);
+      }
+    }
+  }
+}
+
+TEST(IrregularLoweringTest, ZeroEntriesBecomeMinimalMessages) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  std::vector<Bytes> sizes(36, 0);
+  const mpisim::ProgramSet set =
+      lower_schedule_irregular(topo, schedule, sizes);
+  mpisim::Executor executor(topo, {}, {});
+  EXPECT_NO_THROW(executor.run(set));
+}
+
+TEST(IrregularLoweringTest, RunsEndToEndWithSkewedSizes) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  std::vector<Bytes> sizes(36, 1_KiB);
+  // One hot sender.
+  for (std::size_t dst = 0; dst < 6; ++dst) sizes[dst] = 256_KiB;
+  const mpisim::ProgramSet set =
+      lower_schedule_irregular(topo, schedule, sizes);
+  EXPECT_EQ(set.name, "ours-irregular");
+  mpisim::Executor executor(topo, {}, {});
+  const mpisim::ExecutionResult result = executor.run(set);
+  EXPECT_GT(result.completion_time, 0);
+}
+
+TEST(IrregularLoweringTest, WrongMatrixSizeRejected) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  EXPECT_THROW(lower_schedule_irregular(topo, schedule, {1, 2, 3}),
+               aapc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aapc::lowering

@@ -1,0 +1,152 @@
+// End-to-end integration: topology -> schedule -> sync -> lowering ->
+// simulation, compared against the baselines, reproducing the paper's
+// qualitative claims on its three experimental topologies.
+#include <gtest/gtest.h>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/harness/experiment.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::harness {
+namespace {
+
+using topology::make_paper_topology_a;
+using topology::make_paper_topology_b;
+using topology::make_paper_topology_c;
+using topology::Topology;
+
+SimTime completion(const Topology& topo, const NamedAlgorithm& algo,
+                   Bytes msize, const ExperimentConfig& config) {
+  return run_algorithm(topo, algo, msize, config).completion;
+}
+
+TEST(IntegrationTest, StandardSuiteRunsOnPaperFigure1) {
+  const Topology topo = topology::make_paper_figure1();
+  const auto suite = standard_suite(topo);
+  ASSERT_EQ(suite.size(), 3u);
+  ExperimentConfig config;
+  config.msizes = {8_KiB, 64_KiB};
+  const ExperimentReport report =
+      run_experiment(topo, "figure-1 cluster", suite, config);
+  EXPECT_EQ(report.results.size(), 2u);
+  for (const auto& row : report.results) {
+    for (const RunResult& result : row) {
+      EXPECT_GT(result.completion, 0) << result.algorithm;
+      EXPECT_GT(result.throughput_mbps, 0) << result.algorithm;
+      EXPECT_LE(result.throughput_mbps, report.peak_mbps * 1.0001)
+          << result.algorithm << ": aggregate throughput cannot beat the "
+          << "theoretical peak";
+    }
+  }
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("completion time"), std::string::npos);
+  EXPECT_NE(text.find("Peak"), std::string::npos);
+}
+
+TEST(IntegrationTest, GeneratedRoutineWinsAtLargeSizesOnAllTopologies) {
+  // The headline claim: "consistently outperforms ... when the message
+  // size is sufficiently large" (§6), here at 256 KB.
+  ExperimentConfig config;
+  for (const Topology& topo :
+       {make_paper_topology_a(), make_paper_topology_b(),
+        make_paper_topology_c()}) {
+    const auto suite = standard_suite(topo);
+    const SimTime lam = completion(topo, suite[0], 256_KiB, config);
+    const SimTime mpich = completion(topo, suite[1], 256_KiB, config);
+    const SimTime ours = completion(topo, suite[2], 256_KiB, config);
+    EXPECT_LT(ours, lam) << topo.machine_count() << " machines";
+    EXPECT_LT(ours, mpich * 1.05)
+        << "at 256 KB the generated routine must at least match MPICH";
+  }
+}
+
+TEST(IntegrationTest, GeneratedRoutineLosesAtSmallSizes) {
+  // §6: per-phase synchronization overhead dominates at 8 KB, where the
+  // unscheduled algorithms win (Fig. 6-8, first rows).
+  ExperimentConfig config;
+  for (const Topology& topo :
+       {make_paper_topology_a(), make_paper_topology_b(),
+        make_paper_topology_c()}) {
+    const auto suite = standard_suite(topo);
+    const SimTime mpich = completion(topo, suite[1], 8_KiB, config);
+    const SimTime ours = completion(topo, suite[2], 8_KiB, config);
+    EXPECT_GT(ours, mpich);
+  }
+}
+
+TEST(IntegrationTest, LamIsWorstOnTopologyAAtLargeSizes) {
+  // Fig. 6: LAM's unscheduled flood collapses under 23-way incast.
+  const Topology topo = make_paper_topology_a();
+  const auto suite = standard_suite(topo);
+  ExperimentConfig config;
+  const SimTime lam = completion(topo, suite[0], 128_KiB, config);
+  const SimTime mpich = completion(topo, suite[1], 128_KiB, config);
+  const SimTime ours = completion(topo, suite[2], 128_KiB, config);
+  EXPECT_GT(lam, 1.5 * mpich);
+  EXPECT_GT(lam, 1.5 * ours);
+}
+
+TEST(IntegrationTest, MpichMatchesLamOnTopologyC) {
+  // Fig. 8: MPICH's pairwise exchange ignores the chain bottleneck and
+  // performs like LAM there (§6: "MPICH has a similar performance to
+  // LAM").
+  const Topology topo = make_paper_topology_c();
+  const auto suite = standard_suite(topo);
+  ExperimentConfig config;
+  const SimTime lam = completion(topo, suite[0], 256_KiB, config);
+  const SimTime mpich = completion(topo, suite[1], 256_KiB, config);
+  EXPECT_NEAR(mpich / lam, 1.0, 0.25);
+}
+
+TEST(IntegrationTest, OursApproachesPeakOnTopologyC) {
+  // Fig. 8(b): the generated routine converges toward the peak line.
+  const Topology topo = make_paper_topology_c();
+  const auto suite = standard_suite(topo);
+  ExperimentConfig config;
+  const RunResult result = run_algorithm(topo, suite[2], 256_KiB, config);
+  const double peak = bytes_per_sec_to_mbps(topo.peak_aggregate_throughput(
+      config.net.link_bandwidth_bytes_per_sec));
+  EXPECT_GT(result.throughput_mbps, 0.6 * peak);
+  EXPECT_LT(result.throughput_mbps, peak);
+}
+
+TEST(IntegrationTest, RandomTopologiesFullPipeline) {
+  Rng rng(2026);
+  ExperimentConfig config;
+  config.msizes = {32_KiB};
+  for (int trial = 0; trial < 6; ++trial) {
+    topology::RandomTreeOptions options;
+    options.switches = static_cast<std::int32_t>(rng.next_in(1, 5));
+    options.machines = static_cast<std::int32_t>(rng.next_in(4, 14));
+    const Topology topo = topology::make_random_tree(rng, options);
+    const auto suite = standard_suite(topo);
+    const ExperimentReport report =
+        run_experiment(topo, "random", suite, config);
+    for (const RunResult& result : report.results[0]) {
+      EXPECT_GT(result.completion, 0) << result.algorithm;
+    }
+  }
+}
+
+TEST(IntegrationTest, ThroughputDefinitionMatchesPaper) {
+  // Aggregate throughput = |M| (|M|-1) msize / completion.
+  const Topology topo = topology::make_paper_figure1();
+  const auto suite = standard_suite(topo);
+  ExperimentConfig config;
+  const RunResult result = run_algorithm(topo, suite[2], 64_KiB, config);
+  const double expected_mbps = bytes_per_sec_to_mbps(
+      6.0 * 5.0 * 65536.0 / result.completion);
+  EXPECT_NEAR(result.throughput_mbps, expected_mbps, 1e-6);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  const Topology topo = make_paper_topology_b();
+  const auto suite = standard_suite(topo);
+  ExperimentConfig config;
+  const SimTime first = completion(topo, suite[2], 64_KiB, config);
+  const SimTime second = completion(topo, suite[2], 64_KiB, config);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace aapc::harness

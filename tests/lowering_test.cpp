@@ -1,0 +1,164 @@
+// Tests for schedule lowering: structure of the emitted programs, the
+// three sync modes, and end-to-end execution on the simulator.
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/mpisim/executor.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::lowering {
+namespace {
+
+using mpisim::Op;
+using mpisim::OpKind;
+using topology::make_paper_figure1;
+using topology::make_single_switch;
+using topology::Topology;
+
+simnet::NetworkParams quiet_net() {
+  simnet::NetworkParams net;  // defaults, but deterministic enough
+  return net;
+}
+
+mpisim::ExecutorParams no_jitter() {
+  mpisim::ExecutorParams exec;
+  exec.wakeup_jitter_max = 0;
+  return exec;
+}
+
+TEST(LoweringTest, DataMessageCountMatchesSchedule) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringInfo info;
+  const mpisim::ProgramSet set =
+      lower_schedule(topo, schedule, 8_KiB, {}, &info);
+  EXPECT_EQ(info.data_messages, 30);  // 6 * 5
+  EXPECT_EQ(set.rank_count(), 6);
+  EXPECT_GT(info.sync_messages, 0);
+  EXPECT_GT(info.local_wait_dependencies, 0);
+  EXPECT_GT(info.sync_edges_before_reduction,
+            info.sync_messages + info.local_wait_dependencies);
+}
+
+TEST(LoweringTest, PairwiseModeExecutesAndDeliversEverything) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringInfo info;
+  const mpisim::ProgramSet set =
+      lower_schedule(topo, schedule, 8_KiB, {}, &info);
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  const mpisim::ExecutionResult result = executor.run(set);
+  EXPECT_EQ(result.message_count, info.data_messages + info.sync_messages);
+  EXPECT_GT(result.completion_time, 0);
+}
+
+TEST(LoweringTest, NoSyncModeHasNoTokens) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringOptions options;
+  options.sync = SyncMode::kNone;
+  LoweringInfo info;
+  const mpisim::ProgramSet set =
+      lower_schedule(topo, schedule, 8_KiB, options, &info);
+  EXPECT_EQ(info.sync_messages, 0);
+  EXPECT_EQ(info.local_wait_dependencies, 0);
+  for (const mpisim::Program& program : set.programs) {
+    for (const Op& op : program.ops) {
+      EXPECT_NE(op.kind, OpKind::kBarrier);
+      if (op.kind == OpKind::kIsend || op.kind == OpKind::kIrecv) {
+        EXPECT_LT(op.tag, mpisim::kSyncTag);
+      }
+    }
+  }
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  EXPECT_NO_THROW(executor.run(set));
+}
+
+TEST(LoweringTest, BarrierModeUsesBarriers) {
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringOptions options;
+  options.sync = SyncMode::kBarrier;
+  const mpisim::ProgramSet set =
+      lower_schedule(topo, schedule, 8_KiB, options);
+  std::int64_t barriers = 0;
+  for (const Op& op : set.programs[0].ops) {
+    if (op.kind == OpKind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(barriers, schedule.phase_count());
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  EXPECT_NO_THROW(executor.run(set));
+}
+
+TEST(LoweringTest, SelfCopyToggle) {
+  const Topology topo = make_single_switch(3);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringOptions no_copy;
+  no_copy.include_self_copy = false;
+  const mpisim::ProgramSet without =
+      lower_schedule(topo, schedule, 8_KiB, no_copy);
+  for (const mpisim::Program& program : without.programs) {
+    for (const Op& op : program.ops) {
+      EXPECT_NE(op.kind, OpKind::kCopy);
+    }
+  }
+  const mpisim::ProgramSet with = lower_schedule(topo, schedule, 8_KiB);
+  EXPECT_EQ(with.programs[0].ops.front().kind, OpKind::kCopy);
+}
+
+TEST(LoweringTest, PairwiseSerializationBoundsConcurrency) {
+  // The whole point of the schedule + syncs: the network never sees the
+  // post-everything flood. On a 8-machine switch, LAM-style saturation
+  // would be 56 concurrent data flows; the lowered routine stays near
+  // one send + one receive per machine (plus in-flight tokens).
+  const Topology topo = make_single_switch(8);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const mpisim::ProgramSet set = lower_schedule(topo, schedule, 64_KiB);
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  const mpisim::ExecutionResult result = executor.run(set);
+  EXPECT_LE(result.network_stats.max_concurrent_flows, 3 * 8);
+}
+
+TEST(LoweringTest, ReductionToggleChangesTokenCount) {
+  const Topology topo = make_single_switch(6);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringInfo reduced;
+  lower_schedule(topo, schedule, 8_KiB, {}, &reduced);
+  LoweringOptions no_reduction;
+  no_reduction.reduce_redundant_syncs = false;
+  LoweringInfo full;
+  lower_schedule(topo, schedule, 8_KiB, no_reduction, &full);
+  EXPECT_GT(full.sync_messages, reduced.sync_messages);
+  // Both still execute correctly.
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  EXPECT_NO_THROW(
+      executor.run(lower_schedule(topo, schedule, 8_KiB, no_reduction)));
+}
+
+TEST(LoweringTest, SyncTokensAreSmall) {
+  const Topology topo = make_single_switch(4);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  LoweringOptions options;
+  options.sync_message_bytes = 4;
+  const mpisim::ProgramSet set =
+      lower_schedule(topo, schedule, 64_KiB, options);
+  for (const mpisim::Program& program : set.programs) {
+    for (const Op& op : program.ops) {
+      if ((op.kind == OpKind::kIsend || op.kind == OpKind::kIrecv) &&
+          op.tag >= mpisim::kSyncTag) {
+        EXPECT_EQ(op.bytes, 4u);
+      }
+    }
+  }
+}
+
+TEST(LoweringTest, InvalidInputsRejected) {
+  const Topology topo = make_single_switch(3);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  EXPECT_THROW(lower_schedule(topo, schedule, 0), aapc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aapc::lowering

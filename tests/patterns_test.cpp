@@ -1,0 +1,126 @@
+// Tests for the broadcast and rotate patterns (§4.3, Lemmas 5 & 6,
+// Table 2).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "aapc/core/patterns.hpp"
+
+namespace aapc::core {
+namespace {
+
+void expect_exact_cover(const std::vector<PatternEntry>& pattern,
+                        std::int32_t mi, std::int32_t mj) {
+  ASSERT_EQ(pattern.size(), static_cast<std::size_t>(mi) * mj);
+  std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+  for (const PatternEntry& e : pattern) {
+    ASSERT_GE(e.sender, 0);
+    ASSERT_LT(e.sender, mi);
+    ASSERT_GE(e.receiver, 0);
+    ASSERT_LT(e.receiver, mj);
+    EXPECT_TRUE(pairs.emplace(e.sender, e.receiver).second)
+        << "duplicate pair " << e.sender << "->" << e.receiver;
+  }
+  EXPECT_EQ(pairs.size(), static_cast<std::size_t>(mi) * mj);
+}
+
+TEST(PatternTest, PaperTable2) {
+  // Rotate pattern with |Mi| = 6, |Mj| = 4 (a=3, b=2, D=2): the paper's
+  // Table 2, sender rotated once at phase 12 = lcm(6,4).
+  const auto pattern = rotate_pattern(6, 4);
+  const std::int32_t expected_senders[24] = {0, 1, 2, 3, 4, 5, 0, 1,
+                                             2, 3, 4, 5, 1, 2, 3, 4,
+                                             5, 0, 1, 2, 3, 4, 5, 0};
+  const std::int32_t expected_receivers[24] = {0, 1, 2, 3, 0, 1, 2, 3,
+                                               0, 1, 2, 3, 0, 1, 2, 3,
+                                               0, 1, 2, 3, 0, 1, 2, 3};
+  for (int q = 0; q < 24; ++q) {
+    EXPECT_EQ(pattern[q].sender, expected_senders[q]) << "phase " << q;
+    EXPECT_EQ(pattern[q].receiver, expected_receivers[q]) << "phase " << q;
+  }
+  expect_exact_cover(pattern, 6, 4);
+}
+
+TEST(PatternTest, BroadcastLemma5ContiguousSenders) {
+  // Lemma 5: each sender occupies |Mj| continuous phases.
+  const std::int32_t mi = 5;
+  const std::int32_t mj = 3;
+  const auto pattern = broadcast_pattern(mi, mj);
+  for (std::int32_t q = 0; q < mi * mj; ++q) {
+    EXPECT_EQ(pattern[q].sender, q / mj);
+  }
+  expect_exact_cover(pattern, mi, mj);
+}
+
+class PatternSweepTest
+    : public ::testing::TestWithParam<std::pair<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(PatternSweepTest, BroadcastCoversAllPairs) {
+  const auto [mi, mj] = GetParam();
+  expect_exact_cover(broadcast_pattern(mi, mj), mi, mj);
+  expect_exact_cover(broadcast_pattern(mi, mj, mj / 2), mi, mj);
+}
+
+TEST_P(PatternSweepTest, RotateCoversAllPairsForAnyReceiverOffset) {
+  const auto [mi, mj] = GetParam();
+  for (std::int32_t offset = 0; offset < mj; ++offset) {
+    expect_exact_cover(rotate_pattern(mi, mj, offset), mi, mj);
+  }
+  // Negative offsets (as produced by the (p - P) alignment) also work.
+  expect_exact_cover(rotate_pattern(mi, mj, -7 * mj - 1), mi, mj);
+}
+
+TEST_P(PatternSweepTest, RotateLemma6SenderOncePerAlignedWindow) {
+  const auto [mi, mj] = GetParam();
+  const auto pattern = rotate_pattern(mi, mj);
+  for (std::int32_t window = 0; window < mj; ++window) {
+    std::set<std::int32_t> senders;
+    for (std::int32_t q = window * mi; q < (window + 1) * mi; ++q) {
+      senders.insert(pattern[q].sender);
+    }
+    EXPECT_EQ(senders.size(), static_cast<std::size_t>(mi))
+        << "window " << window;
+  }
+}
+
+TEST_P(PatternSweepTest, RotateLemma6ReceiverOncePerAlignedWindow) {
+  const auto [mi, mj] = GetParam();
+  const auto pattern = rotate_pattern(mi, mj);
+  for (std::int32_t window = 0; window < mi; ++window) {
+    std::set<std::int32_t> receivers;
+    for (std::int32_t q = window * mj; q < (window + 1) * mj; ++q) {
+      receivers.insert(pattern[q].receiver);
+    }
+    EXPECT_EQ(receivers.size(), static_cast<std::size_t>(mj))
+        << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PatternSweepTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 5}, std::pair{5, 1},
+                      std::pair{2, 2}, std::pair{3, 2}, std::pair{2, 3},
+                      std::pair{6, 4}, std::pair{4, 6}, std::pair{7, 7},
+                      std::pair{8, 6}, std::pair{9, 6}, std::pair{12, 8},
+                      std::pair{16, 16}, std::pair{13, 11}));
+
+TEST(PatternTest, PositiveMod) {
+  EXPECT_EQ(positive_mod(-9, 2), 1);
+  EXPECT_EQ(positive_mod(-4, 2), 0);
+  EXPECT_EQ(positive_mod(7, 3), 1);
+  EXPECT_EQ(positive_mod(0, 5), 0);
+}
+
+TEST(PatternTest, RotateSenderMatchesMaterializedPattern) {
+  const std::int32_t mi = 6;
+  const std::int32_t mj = 4;
+  const auto pattern = rotate_pattern(mi, mj);
+  for (std::int32_t q = 0; q < mi * mj; ++q) {
+    EXPECT_EQ(rotate_sender_at(mi, mj, q), pattern[q].sender);
+  }
+}
+
+}  // namespace
+}  // namespace aapc::core

@@ -1,0 +1,99 @@
+// Tests for the JSON schedule serialization.
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/core/schedule_io.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::core {
+namespace {
+
+using topology::make_paper_figure1;
+using topology::make_single_switch;
+using topology::Topology;
+
+TEST(ScheduleIoTest, RoundTripPreservesPhases) {
+  const Topology topo = make_paper_figure1();
+  const Schedule original = build_aapc_schedule(topo);
+  const std::string json = schedule_to_json(original, topo.machine_count());
+  const Schedule loaded = schedule_from_json(json, topo.machine_count());
+  ASSERT_EQ(loaded.phase_count(), original.phase_count());
+  for (std::int32_t p = 0; p < original.phase_count(); ++p) {
+    EXPECT_EQ(loaded.phases[p], original.phases[p]) << "phase " << p;
+  }
+  // The loaded schedule still verifies against the topology.
+  const VerifyReport report = verify_schedule(topo, loaded);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(ScheduleIoTest, GoldenFormat) {
+  Schedule schedule;
+  schedule.phases = {{Message{0, 1}, Message{1, 2}}, {}, {Message{2, 0}}};
+  EXPECT_EQ(schedule_to_json(schedule, 3),
+            "{\"machines\":3,\"phases\":[[[0,1],[1,2]],[],[[2,0]]]}");
+}
+
+TEST(ScheduleIoTest, ParsesWithWhitespace) {
+  const Schedule schedule = schedule_from_json(R"(
+    {
+      "machines": 3,
+      "phases": [
+        [ [0, 1], [1, 2] ],
+        [ [2, 0] ]
+      ]
+    }
+  )");
+  ASSERT_EQ(schedule.phase_count(), 2);
+  EXPECT_EQ(schedule.phases[0].size(), 2u);
+  EXPECT_EQ(schedule.messages.size(), 3u);
+  EXPECT_EQ(schedule.messages[2].phase, 1);
+}
+
+TEST(ScheduleIoTest, EmptySchedule) {
+  const Schedule schedule =
+      schedule_from_json("{\"machines\":4,\"phases\":[]}");
+  EXPECT_EQ(schedule.phase_count(), 0);
+  EXPECT_EQ(schedule_to_json(schedule, 4),
+            "{\"machines\":4,\"phases\":[]}");
+}
+
+TEST(ScheduleIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(schedule_from_json(""), InvalidArgument);
+  EXPECT_THROW(schedule_from_json("{\"machines\":3}"), InvalidArgument);
+  EXPECT_THROW(schedule_from_json("{\"phases\":[]}"), InvalidArgument);
+  EXPECT_THROW(schedule_from_json("{\"machines\":3,\"phases\":[[[0]]]}"),
+               InvalidArgument);
+  EXPECT_THROW(schedule_from_json("{\"machines\":3,\"bogus\":1,\"phases\":[]}"),
+               InvalidArgument);
+  EXPECT_THROW(
+      schedule_from_json("{\"machines\":3,\"phases\":[]} trailing"),
+      InvalidArgument);
+}
+
+TEST(ScheduleIoTest, RejectsRanksOutOfRange) {
+  EXPECT_THROW(schedule_from_json("{\"machines\":2,\"phases\":[[[0,5]]]}"),
+               InvalidArgument);
+  EXPECT_THROW(schedule_from_json("{\"machines\":2,\"phases\":[[[-1,0]]]}"),
+               InvalidArgument);
+}
+
+TEST(ScheduleIoTest, MachineCountMismatchRejected) {
+  const std::string json = "{\"machines\":4,\"phases\":[]}";
+  EXPECT_NO_THROW(schedule_from_json(json));
+  EXPECT_NO_THROW(schedule_from_json(json, 4));
+  EXPECT_THROW(schedule_from_json(json, 5), InvalidArgument);
+}
+
+TEST(ScheduleIoTest, LargeScheduleRoundTrip) {
+  const Topology topo = make_single_switch(16);
+  const Schedule original = build_aapc_schedule(topo);
+  const Schedule loaded = schedule_from_json(
+      schedule_to_json(original, 16), 16);
+  EXPECT_EQ(loaded.message_count(), original.message_count());
+  EXPECT_TRUE(verify_schedule(topo, loaded).ok);
+}
+
+}  // namespace
+}  // namespace aapc::core

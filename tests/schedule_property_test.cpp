@@ -1,0 +1,119 @@
+// Randomized end-to-end property tests for the paper's Theorem: for any
+// tree topology, the generated schedule (1) realizes every AAPC message
+// exactly once, (2) is contention-free in every phase, and (3) uses
+// exactly aapc_load(topology) phases.
+#include <gtest/gtest.h>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::core {
+namespace {
+
+using topology::make_chain;
+using topology::make_paper_topology_a;
+using topology::make_paper_topology_b;
+using topology::make_paper_topology_c;
+using topology::make_random_tree;
+using topology::make_star;
+using topology::RandomTreeOptions;
+using topology::Topology;
+
+void expect_theorem_holds(const Topology& topo) {
+  const Schedule schedule = build_aapc_schedule(topo);
+  const VerifyReport report = verify_schedule(topo, schedule);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.max_edge_multiplicity, 1);
+  EXPECT_EQ(schedule.phase_count(), topo.aapc_load());
+}
+
+TEST(ScheduleTheoremTest, PaperTopologies) {
+  expect_theorem_holds(make_paper_topology_a());
+  expect_theorem_holds(make_paper_topology_b());
+  expect_theorem_holds(make_paper_topology_c());
+  expect_theorem_holds(topology::make_paper_figure1());
+}
+
+TEST(ScheduleTheoremTest, StarsAndChains) {
+  expect_theorem_holds(make_star({4, 4, 4}));
+  expect_theorem_holds(make_star({7, 5, 3, 1}));
+  expect_theorem_holds(make_star({1, 1, 1}));
+  expect_theorem_holds(make_chain({2, 2, 2, 2, 2}));
+  expect_theorem_holds(make_chain({10, 1, 1}));
+  expect_theorem_holds(make_chain({5, 0, 0, 5}));
+  expect_theorem_holds(make_chain({1, 0, 2}));
+}
+
+TEST(ScheduleTheoremTest, EqualSubtreeSizes) {
+  // |M0| = |M1| ties exercise the deterministic tie-breaking and the
+  // i = 1 step-5 case where |M(i-1)| == |Mi|.
+  expect_theorem_holds(make_star({6, 6}));
+  expect_theorem_holds(make_star({6, 6, 6, 6, 6}));
+}
+
+class ScheduleTheoremRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleTheoremRandomTest, RandomTrees) {
+  Rng rng(GetParam() * 7919 + 13);
+  RandomTreeOptions options;
+  options.switches = static_cast<std::int32_t>(rng.next_in(1, 12));
+  options.machines = static_cast<std::int32_t>(rng.next_in(3, 36));
+  options.max_switch_degree = static_cast<std::int32_t>(rng.next_in(1, 5));
+  const Topology topo = make_random_tree(rng, options);
+  expect_theorem_holds(topo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleTheoremRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 120));
+
+class ScheduleStep6RandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleStep6RandomTest, RotateVariantOnRandomTrees) {
+  Rng rng(GetParam() * 104729 + 7);
+  RandomTreeOptions options;
+  options.switches = static_cast<std::int32_t>(rng.next_in(2, 8));
+  options.machines = static_cast<std::int32_t>(rng.next_in(4, 28));
+  const Topology topo = make_random_tree(rng, options);
+  SchedulerOptions sched;
+  sched.assignment.step6 = AssignmentOptions::Step6Pattern::kRotate;
+  const Schedule schedule = build_aapc_schedule(topo, sched);
+  const VerifyReport report = verify_schedule(topo, schedule);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleStep6RandomTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(ScheduleStressTest, WideSingleSwitch) {
+  expect_theorem_holds(topology::make_single_switch(64));
+}
+
+TEST(ScheduleStressTest, DeepChain) {
+  expect_theorem_holds(make_chain({3, 2, 1, 2, 3, 1, 2, 4}));
+}
+
+TEST(ScheduleStressTest, LargeTwoLevel) {
+  expect_theorem_holds(make_star({16, 12, 9, 5, 3, 2, 1}));
+}
+
+TEST(ScheduleStressTest, VeryWideSingleSwitch) {
+  // 128 machines: 127 phases, 16256 messages — schedule + full
+  // verification must stay fast (sub-second).
+  expect_theorem_holds(topology::make_single_switch(128));
+}
+
+TEST(ScheduleStressTest, LargeChainCluster) {
+  // 96 machines over a chain: 48*48 = 2304 phases.
+  expect_theorem_holds(make_chain({48, 48}));
+}
+
+TEST(ScheduleStressTest, DeepBinaryTreeCluster) {
+  expect_theorem_holds(topology::make_binary_tree(4, 3));  // 24 machines
+}
+
+}  // namespace
+}  // namespace aapc::core

@@ -1,0 +1,307 @@
+// Unit tests for the fluid-flow network model: rate allocation, event
+// processing, and the three contention mechanisms (edge losses, machine
+// duplex cap, switch fabric cap).
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/simnet/fluid_network.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::simnet {
+namespace {
+
+using topology::make_chain;
+using topology::make_single_switch;
+using topology::Topology;
+
+/// Params with every loss mechanism disabled: exact max-min fair sharing
+/// at 12.5 MB/s per direction.
+NetworkParams ideal_params() {
+  NetworkParams params;
+  params.protocol_efficiency = 1.0;
+  params.node_contention_penalty = 0.0;
+  params.trunk_contention_penalty = 0.0;
+  params.node_efficiency_floor = 1.0;
+  params.trunk_efficiency_floor = 1.0;
+  params.duplex_efficiency = 1.0;
+  params.switch_fabric_links = 1e9;
+  return params;
+}
+
+/// Runs the network until idle; returns completion times per flow id.
+std::vector<SimTime> drain(FluidNetwork& network, std::size_t flow_count) {
+  std::vector<SimTime> completion(flow_count, -1);
+  std::vector<FlowId> completed;
+  while (!network.idle()) {
+    const SimTime next = network.next_event_time();
+    EXPECT_NE(next, kNever) << "network stuck with active flows";
+    if (next == kNever) break;
+    completed.clear();
+    network.advance_to(next, completed);
+    for (const FlowId id : completed) {
+      completion[static_cast<std::size_t>(id)] = network.now();
+    }
+  }
+  return completion;
+}
+
+TEST(FluidNetworkTest, SingleFlowFullRate) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000, 0);
+  std::vector<SimTime> done;
+  drain(network, 1);
+  EXPECT_NEAR(network.now(), 1.0, 1e-9);  // 12.5 MB at 12.5 MB/s
+}
+
+TEST(FluidNetworkTest, TwoFlowsShareSourceUplink) {
+  const Topology topo = make_single_switch(3);
+  FluidNetwork network(topo, ideal_params());
+  // Same source, two destinations: the source uplink halves each rate.
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000, 0);
+  network.add_flow(topo.machine_node(0), topo.machine_node(2), 12'500'000, 0);
+  drain(network, 2);
+  EXPECT_NEAR(network.now(), 2.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, OppositeDirectionsDoNotContend) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(0), 12'500'000, 0);
+  drain(network, 2);
+  EXPECT_NEAR(network.now(), 1.0, 1e-9);  // duplex links
+}
+
+TEST(FluidNetworkTest, MaxMinGivesLeftoverToUnbottleneckedFlow) {
+  // Machines n0,n1 on s0; n2,n3 on s1. Flows: A n0->n2, B n1->n2
+  // (share n2's downlink, 0.5 each), C n1->n3... C shares n1's uplink
+  // with B. Max-min: A=0.5, B=0.5, C=0.5 (n1 uplink not saturated).
+  // Replace C with n0->n3: A,B bottlenecked at n2 downlink (0.5 each);
+  // trunk carries A,B,C; C can use the remaining trunk capacity? Trunk
+  // capacity 1.0 shared by 3 flows: fair share 1/3 < 0.5, so the trunk
+  // is the global bottleneck: all three get 1/3... max-min: trunk
+  // saturates first at 1/3 each.
+  const Topology topo = make_chain({2, 2});
+  FluidNetwork network(topo, ideal_params());
+  const double mb = 12'500'000;
+  network.add_flow(topo.machine_node(0), topo.machine_node(2), mb, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(2), mb, 0);
+  network.add_flow(topo.machine_node(0), topo.machine_node(3), mb, 0);
+  drain(network, 3);
+  EXPECT_NEAR(network.now(), 3.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, MaxMinUnevenAllocation) {
+  // n0->n2 and n1->n2 share n2's downlink; n3 gets a dedicated flow
+  // n0->n3 of half the size. Trunk: 3 flows. Max-min on trunk: 1/3
+  // each; n2 downlink: 2 flows (1/3 each, not saturated: capacity 1).
+  // After the small flow (6.25 MB at 1/3 rate -> t=1.5) finishes, the
+  // remaining two flows split the trunk at 1/2: remaining 12.5-6.25*...
+  const Topology topo = make_chain({2, 2});
+  FluidNetwork network(topo, ideal_params());
+  const double mb = 12'500'000;
+  const FlowId a =
+      network.add_flow(topo.machine_node(0), topo.machine_node(2), mb, 0);
+  const FlowId b =
+      network.add_flow(topo.machine_node(1), topo.machine_node(2), mb, 0);
+  const FlowId c = network.add_flow(topo.machine_node(0), topo.machine_node(3),
+                                    mb / 2, 0);
+  const std::vector<SimTime> completion = drain(network, 3);
+  // c finishes first: 6.25 MB at 12.5/3 MB/s = 1.5 s.
+  EXPECT_NEAR(completion[c], 1.5, 1e-9);
+  // a and b: 1.5 s at 1/3 rate moved 6.25 MB; remaining 6.25 MB at 1/2
+  // rate takes 1.0 s -> total 2.5 s.
+  EXPECT_NEAR(completion[a], 2.5, 1e-9);
+  EXPECT_NEAR(completion[b], 2.5, 1e-9);
+}
+
+TEST(FluidNetworkTest, PendingFlowActivatesLater) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000,
+                   2.0);
+  EXPECT_NEAR(network.next_event_time(), 2.0, 1e-12);
+  drain(network, 1);
+  EXPECT_NEAR(network.now(), 3.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, IncastPenaltyReducesGoodput) {
+  NetworkParams params = ideal_params();
+  params.node_contention_penalty = 0.1;
+  params.node_efficiency_floor = 0.1;
+  const Topology topo = make_single_switch(3);
+  FluidNetwork network(topo, params);
+  // Two senders into one receiver: eta(2) = 1/1.1, so each flow runs at
+  // (12.5/1.1)/2 MB/s and 12.5 MB take 2.2 s.
+  network.add_flow(topo.machine_node(0), topo.machine_node(2), 12'500'000, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(2), 12'500'000, 0);
+  drain(network, 2);
+  EXPECT_NEAR(network.now(), 2.2, 1e-9);
+}
+
+TEST(FluidNetworkTest, TrunkFloorBoundsCollapse) {
+  NetworkParams params = ideal_params();
+  params.trunk_contention_penalty = 1.0;  // brutal per-flow loss
+  params.trunk_efficiency_floor = 0.5;    // ... but floored at 50%
+  const Topology topo = make_chain({4, 4});
+  FluidNetwork network(topo, params);
+  // 4 parallel trunk flows, distinct endpoints: trunk efficiency floors
+  // at 0.5 -> aggregate 6.25 MB/s, 4 x 12.5 MB takes 8 s.
+  for (int i = 0; i < 4; ++i) {
+    network.add_flow(topo.machine_node(i), topo.machine_node(4 + i),
+                     12'500'000, 0);
+  }
+  drain(network, 4);
+  EXPECT_NEAR(network.now(), 8.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, DuplexCapBindsWhenSendingAndReceiving) {
+  NetworkParams params = ideal_params();
+  params.duplex_efficiency = 0.75;
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, params);
+  // n0 <-> n1 both ways: each machine moves 2 flows; combined cap
+  // 2 * 12.5 * 0.75 = 18.75 MB/s -> 9.375 MB/s per flow.
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(0), 12'500'000, 0);
+  drain(network, 2);
+  EXPECT_NEAR(network.now(), 12.5 / 9.375, 1e-9);
+}
+
+TEST(FluidNetworkTest, FabricCapLimitsBusySwitch) {
+  NetworkParams params = ideal_params();
+  params.switch_fabric_links = 2.0;  // switch sustains 2 links' worth
+  const Topology topo = make_single_switch(8);
+  FluidNetwork network(topo, params);
+  // 4 disjoint pairs: links could run all 4 at full rate, but the
+  // fabric allows 2 x 12.5 MB/s total -> each flow 12.5/2 = 6.25 MB/s...
+  // fabric capacity 25 MB/s over 4 flows = 6.25 MB/s each.
+  for (int i = 0; i < 4; ++i) {
+    network.add_flow(topo.machine_node(2 * i), topo.machine_node(2 * i + 1),
+                     12'500'000, 0);
+  }
+  drain(network, 4);
+  EXPECT_NEAR(network.now(), 2.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, StatsAccounting) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 1'000'000, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(0), 2'000'000, 0);
+  drain(network, 2);
+  EXPECT_EQ(network.stats().completed_flows, 2);
+  EXPECT_EQ(network.stats().max_concurrent_flows, 2);
+  double total_edge_bytes = 0;
+  for (const double bytes : network.stats().edge_bytes) {
+    total_edge_bytes += bytes;
+  }
+  // Each flow crosses 2 directed edges.
+  EXPECT_NEAR(total_edge_bytes, 2.0 * (1'000'000 + 2'000'000), 1.0);
+  EXPECT_GT(network.aggregate_throughput(), 0);
+}
+
+TEST(FluidNetworkTest, ZeroByteFlowCompletesAtActivation) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 0, 1.0);
+  drain(network, 1);
+  EXPECT_NEAR(network.now(), 1.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, RejectsMalformedFlows) {
+  const Topology topo = make_single_switch(2);
+  FluidNetwork network(topo, ideal_params());
+  EXPECT_THROW(
+      network.add_flow(topo.machine_node(0), topo.machine_node(0), 10, 0),
+      InvalidArgument);
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 100, 5.0);
+  std::vector<FlowId> completed;
+  network.advance_to(5.0, completed);
+  EXPECT_THROW(
+      network.add_flow(topo.machine_node(1), topo.machine_node(0), 10, 1.0),
+      InvalidArgument);  // starts in the past
+}
+
+TEST(FluidNetworkTest, FlowHops) {
+  const Topology topo = make_chain({1, 0, 1});
+  FluidNetwork network(topo, ideal_params());
+  const FlowId f =
+      network.add_flow(topo.machine_node(0), topo.machine_node(1), 10, 0);
+  EXPECT_EQ(network.flow_hops(f), 4);  // n0-s0-s1-s2-n1
+}
+
+TEST(FluidNetworkTest, RatesReallocateOnArrival) {
+  // A flow running alone at full rate is slowed when a second flow
+  // arrives on its path mid-transfer.
+  const Topology topo = make_single_switch(3);
+  FluidNetwork network(topo, ideal_params());
+  const double mb = 12'500'000;
+  const FlowId a =
+      network.add_flow(topo.machine_node(0), topo.machine_node(2), mb, 0);
+  // Second flow into the same receiver arrives at t=0.5.
+  const FlowId b =
+      network.add_flow(topo.machine_node(1), topo.machine_node(2), mb, 0.5);
+  const std::vector<SimTime> completion = drain(network, 2);
+  // a: 0.5 s at full rate (6.25 MB), then splits 50/50: remaining
+  // 6.25 MB at 6.25 MB/s -> finishes at 1.5 s.
+  EXPECT_NEAR(completion[a], 1.5, 1e-9);
+  // b: at a's completion it has moved 6.25 MB; then full rate: 1.5 + 0.5.
+  EXPECT_NEAR(completion[b], 2.0, 1e-9);
+}
+
+TEST(FluidNetworkTest, LinkBandwidthOverrides) {
+  // A gigabit trunk between the switches: the trunk no longer limits a
+  // single cross-switch flow; the 100 Mbps access links do.
+  NetworkParams params = ideal_params();
+  const Topology topo = make_chain({1, 1});
+  // Link ids: 0 = s0-s1 trunk, then machine links.
+  params.link_bandwidth_overrides = {{0, mbps_to_bytes_per_sec(1000.0)}};
+  FluidNetwork network(topo, params);
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 12'500'000, 0);
+  drain(network, 1);
+  EXPECT_NEAR(network.now(), 1.0, 1e-9);  // access link bound
+}
+
+TEST(FluidNetworkTest, FastTrunkRemovesTheBottleneck) {
+  // Two cross-trunk flows with distinct endpoints: at 100 Mbps the
+  // trunk halves each flow; at 1 Gbps both run at access speed.
+  const Topology topo = make_chain({2, 2});
+  const double mb = 12'500'000;
+  {
+    FluidNetwork network(topo, ideal_params());
+    network.add_flow(topo.machine_node(0), topo.machine_node(2), mb, 0);
+    network.add_flow(topo.machine_node(1), topo.machine_node(3), mb, 0);
+    drain(network, 2);
+    EXPECT_NEAR(network.now(), 2.0, 1e-9);
+  }
+  {
+    NetworkParams params = ideal_params();
+    params.link_bandwidth_overrides = {{0, mbps_to_bytes_per_sec(1000.0)}};
+    FluidNetwork network(topo, params);
+    network.add_flow(topo.machine_node(0), topo.machine_node(2), mb, 0);
+    network.add_flow(topo.machine_node(1), topo.machine_node(3), mb, 0);
+    drain(network, 2);
+    EXPECT_NEAR(network.now(), 1.0, 1e-9);
+  }
+}
+
+TEST(FluidNetworkTest, DuplexCapFollowsAccessLinkOverride) {
+  NetworkParams params = ideal_params();
+  params.duplex_efficiency = 0.75;
+  const Topology topo = make_single_switch(2);
+  // n0's access link (link id 0) upgraded to 200 Mbps.
+  params.link_bandwidth_overrides = {{0, mbps_to_bytes_per_sec(200.0)},
+                                     {1, mbps_to_bytes_per_sec(200.0)}};
+  FluidNetwork network(topo, params);
+  // Bidirectional pair at 200 Mbps links with duplex 0.75: each flow
+  // capped at 2*25e6*0.75/2 = 18.75 MB/s.
+  network.add_flow(topo.machine_node(0), topo.machine_node(1), 18'750'000, 0);
+  network.add_flow(topo.machine_node(1), topo.machine_node(0), 18'750'000, 0);
+  drain(network, 2);
+  EXPECT_NEAR(network.now(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aapc::simnet

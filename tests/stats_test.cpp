@@ -1,0 +1,128 @@
+// Tests for schedule statistics, sync-plan analysis, and the binary
+// tree generator.
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/stats.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/sync/sync_plan.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::core {
+namespace {
+
+using topology::make_binary_tree;
+using topology::make_paper_topology_c;
+using topology::make_single_switch;
+using topology::Topology;
+
+TEST(ScheduleStatsTest, SingleSwitchIsFullyDense) {
+  // Ring-like schedule: every machine sends and receives every phase,
+  // and the bottleneck (any link) is used every phase.
+  const Topology topo = make_single_switch(8);
+  const ScheduleStats stats =
+      compute_schedule_stats(topo, build_aapc_schedule(topo));
+  EXPECT_EQ(stats.phase_count, 7);
+  EXPECT_EQ(stats.message_count, 56);
+  EXPECT_DOUBLE_EQ(stats.send_occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(stats.receive_occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(stats.bottleneck_phase_utilization, 1.0);
+  EXPECT_EQ(stats.min_messages_per_phase, 8);
+  EXPECT_EQ(stats.max_messages_per_phase, 8);
+}
+
+TEST(ScheduleStatsTest, ChainIsSparserButBottleneckSaturated) {
+  // On the chain most machines idle in most phases, but the optimal
+  // schedule keeps the bottleneck trunk busy in every phase — that is
+  // the §3 optimality in statistical form.
+  const Topology topo = make_paper_topology_c();
+  const ScheduleStats stats =
+      compute_schedule_stats(topo, build_aapc_schedule(topo));
+  EXPECT_EQ(stats.phase_count, 256);
+  EXPECT_EQ(stats.message_count, 32 * 31);
+  EXPECT_LT(stats.send_occupancy, 0.25);
+  EXPECT_DOUBLE_EQ(stats.bottleneck_phase_utilization, 1.0);
+}
+
+TEST(ScheduleStatsTest, EmptySchedule) {
+  const Topology topo = make_single_switch(3);
+  const ScheduleStats stats = compute_schedule_stats(topo, Schedule{});
+  EXPECT_EQ(stats.phase_count, 0);
+  EXPECT_EQ(stats.message_count, 0);
+}
+
+TEST(ScheduleStatsTest, ToStringMentionsKeyNumbers) {
+  const Topology topo = make_single_switch(4);
+  const std::string text =
+      compute_schedule_stats(topo, build_aapc_schedule(topo)).to_string();
+  EXPECT_NE(text.find("phases: 3"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST(BinaryTreeTest, StructureAndSchedule) {
+  const Topology topo = make_binary_tree(3, 2);
+  EXPECT_EQ(topo.switch_count(), 7);   // 1 + 2 + 4
+  EXPECT_EQ(topo.machine_count(), 8);  // 4 leaves x 2
+  // Paths between far leaves traverse 4 switch hops + 2 machine links.
+  EXPECT_EQ(topo.path_length(topo.machine_node(0), topo.machine_node(7)), 6);
+  const Schedule schedule = build_aapc_schedule(topo);
+  const VerifyReport report = verify_schedule(topo, schedule);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(BinaryTreeTest, DepthOneIsSingleSwitch) {
+  const Topology topo = make_binary_tree(1, 5);
+  EXPECT_EQ(topo.switch_count(), 1);
+  EXPECT_EQ(topo.machine_count(), 5);
+}
+
+}  // namespace
+}  // namespace aapc::core
+
+namespace aapc::sync {
+namespace {
+
+TEST(PlanAnalysisTest, ChainDepth) {
+  // Edges 0->1->2 plus a shortcut 0->2: critical path 3 messages.
+  SyncPlan plan;
+  plan.edges = {{0, 1}, {0, 2}, {1, 2}};
+  const PlanAnalysis analysis = analyze_plan(plan, 3);
+  EXPECT_EQ(analysis.critical_path_messages, 3);
+  EXPECT_EQ(analysis.max_out_degree, 2);
+  EXPECT_EQ(analysis.max_in_degree, 2);
+  EXPECT_DOUBLE_EQ(analysis.avg_degree, 1.0);
+}
+
+TEST(PlanAnalysisTest, NoEdges) {
+  const PlanAnalysis analysis = analyze_plan(SyncPlan{}, 5);
+  EXPECT_EQ(analysis.critical_path_messages, 1);
+  EXPECT_EQ(analysis.max_in_degree, 0);
+}
+
+TEST(PlanAnalysisTest, EmptySchedule) {
+  const PlanAnalysis analysis = analyze_plan(SyncPlan{}, 0);
+  EXPECT_EQ(analysis.critical_path_messages, 0);
+}
+
+TEST(PlanAnalysisTest, RejectsBackwardEdges) {
+  SyncPlan plan;
+  plan.edges = {{2, 1}};
+  EXPECT_THROW(analyze_plan(plan, 3), aapc::InvalidArgument);
+}
+
+TEST(PlanAnalysisTest, RealScheduleCriticalPathSpansPhases) {
+  // On a single switch the critical path must cover at least one
+  // message per phase (every phase contends with the next through the
+  // machine up/downlinks).
+  const topology::Topology topo = topology::make_single_switch(8);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const SyncPlan plan = build_sync_plan(topo, schedule);
+  const PlanAnalysis analysis =
+      analyze_plan(plan, schedule.message_count());
+  EXPECT_GE(analysis.critical_path_messages, schedule.phase_count());
+  EXPECT_LE(analysis.critical_path_messages, schedule.message_count());
+}
+
+}  // namespace
+}  // namespace aapc::sync

@@ -1,0 +1,90 @@
+// Tests for the .topo text format (input of the routine generator).
+#include <gtest/gtest.h>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/topology/generators.hpp"
+#include "aapc/topology/io.hpp"
+
+namespace aapc::topology {
+namespace {
+
+TEST(TopologyIoTest, ParsesBasicCluster) {
+  const Topology topo = parse_topology(R"(
+    # two switches, three machines
+    switch s0
+    switch s1
+    link s0 s1
+    machine n0 s0
+    machine n1 s0
+    machine n2 s1
+  )");
+  EXPECT_EQ(topo.machine_count(), 3);
+  EXPECT_EQ(topo.switch_count(), 2);
+  EXPECT_EQ(topo.aapc_load(), 2);
+}
+
+TEST(TopologyIoTest, MachineShorthandEqualsExplicitLink) {
+  const Topology a = parse_topology("switch s0\nmachine n0 s0\nmachine n1 s0\n");
+  const Topology b = parse_topology(
+      "switch s0\nmachine n0\nmachine n1\nlink n0 s0\nlink n1 s0\n");
+  EXPECT_EQ(serialize_topology(a), serialize_topology(b));
+}
+
+TEST(TopologyIoTest, CommentsAndBlankLinesIgnored) {
+  const Topology topo = parse_topology(
+      "\n# header\nswitch s0  # trailing\n\nmachine n0 s0\nmachine n1 s0\n");
+  EXPECT_EQ(topo.machine_count(), 2);
+}
+
+TEST(TopologyIoTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_topology("switch s0\nbogus n0\n");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyIoTest, UnknownNodeInLink) {
+  EXPECT_THROW(parse_topology("switch s0\nlink s0 s9\nmachine n0 s0\n"),
+               InvalidArgument);
+}
+
+TEST(TopologyIoTest, DuplicateNameRejected) {
+  EXPECT_THROW(parse_topology("switch s0\nswitch s0\n"), InvalidArgument);
+}
+
+TEST(TopologyIoTest, LinksMayPrecedeDefinitionsViaTwoPass) {
+  // Links resolve after all nodes parse, so forward references work.
+  const Topology topo = parse_topology(
+      "link n0 s0\nswitch s0\nmachine n0\nmachine n1 s0\n");
+  EXPECT_EQ(topo.machine_count(), 2);
+}
+
+TEST(TopologyIoTest, RoundTripPaperTopologies) {
+  for (const Topology& original :
+       {make_paper_topology_a(), make_paper_topology_b(),
+        make_paper_topology_c(), make_paper_figure1()}) {
+    const Topology reparsed = parse_topology(serialize_topology(original));
+    EXPECT_EQ(reparsed.machine_count(), original.machine_count());
+    EXPECT_EQ(reparsed.switch_count(), original.switch_count());
+    EXPECT_EQ(reparsed.aapc_load(), original.aapc_load());
+    EXPECT_EQ(serialize_topology(reparsed), serialize_topology(original));
+  }
+}
+
+TEST(TopologyIoTest, DescribeMentionsBottleneckAndPeak) {
+  const std::string text =
+      describe_topology(make_paper_topology_c(), mbps_to_bytes_per_sec(100));
+  EXPECT_NE(text.find("bottleneck"), std::string::npos);
+  EXPECT_NE(text.find("256"), std::string::npos);
+  EXPECT_NE(text.find("387.5"), std::string::npos);
+}
+
+TEST(TopologyIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_topology_file("/nonexistent/file.topo"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aapc::topology
