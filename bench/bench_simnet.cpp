@@ -35,6 +35,40 @@ void BM_MaxMinAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinAllocation)->Arg(32)->Arg(128)->Arg(512)->Arg(992);
 
+void BM_AdvanceSweep(benchmark::State& state) {
+  // Full event-loop drain: register `range(0)` staggered flows and
+  // advance the network event by event until idle. Exercises the
+  // pending-activation heap, the cached next-completion, and
+  // completion-time row detachment together (the executor's usage
+  // pattern, minus the executor).
+  const Topology topo = aapc::topology::make_paper_topology_c();
+  const std::int64_t flows = state.range(0);
+  std::vector<aapc::simnet::FlowId> completed;
+  for (auto _ : state) {
+    aapc::simnet::FluidNetwork network(topo, aapc::simnet::NetworkParams{});
+    std::int64_t added = 0;
+    for (aapc::topology::Rank src = 0; added < flows; ++src) {
+      for (aapc::topology::Rank dst = 0; dst < 32 && added < flows; ++dst) {
+        if (src % 32 == dst) continue;
+        // Stagger starts so activations drip out of the pending heap
+        // while earlier flows are still draining.
+        network.add_flow(topo.machine_node(src % 32), topo.machine_node(dst),
+                         4096, 1e-6 * static_cast<double>(added % 64));
+        ++added;
+      }
+    }
+    std::int64_t drained = 0;
+    while (!network.idle()) {
+      completed.clear();
+      network.advance_to(network.next_event_time(), completed);
+      drained += static_cast<std::int64_t>(completed.size());
+    }
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_AdvanceSweep)->Arg(128)->Arg(512)->Arg(2048);
+
 void BM_ExecutorLam(benchmark::State& state) {
   const Topology topo = aapc::topology::make_single_switch(
       static_cast<std::int32_t>(state.range(0)));

@@ -1,9 +1,8 @@
 #include "aapc/mpisim/executor.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "aapc/common/error.hpp"
 #include "aapc/common/log.hpp"
@@ -43,9 +42,54 @@ struct RankCtx {
 /// Key for matching: (sender rank, receiver rank, tag).
 using MatchKey = std::tuple<Rank, Rank, Tag>;
 
+struct MatchKeyHash {
+  std::size_t operator()(const MatchKey& key) const noexcept {
+    // Ranks are small nonnegative ints and tags fit 32 bits: pack into
+    // one word and finish with a 64-bit mix (splitmix64 finalizer).
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(std::get<0>(key)))
+         << 42) ^
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(std::get<1>(key)))
+         << 21) ^
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(std::get<2>(key)));
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct FlowIdHash {
+  std::size_t operator()(simnet::FlowId id) const noexcept {
+    auto h = static_cast<std::uint64_t>(id);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
 struct PendingPost {
   Rank rank;        // posting rank
   RequestId request;
+};
+
+/// FIFO of unmatched posts per match key. A vector plus head index
+/// beats std::deque here: posts per key are few (usually one), and a
+/// deque burns a chunk allocation per key.
+struct PostFifo {
+  std::vector<PendingPost> posts;
+  std::size_t head = 0;
+  bool empty() const { return head >= posts.size(); }
+  std::size_t size() const { return posts.size() - head; }
+  const PendingPost& front() const { return posts[head]; }
+  void pop_front() { ++head; }
+  void push_back(PendingPost post) { posts.push_back(post); }
 };
 
 struct FlowBinding {
@@ -74,6 +118,10 @@ ExecutionResult Executor::run(const ProgramSet& set) {
 
   simnet::FluidNetwork network(topo_, net_params_);
   std::vector<RankCtx> ctx(static_cast<std::size_t>(ranks));
+  for (Rank r = 0; r < ranks; ++r) {
+    ctx[static_cast<std::size_t>(r)].requests.reserve(
+        set.programs[static_cast<std::size_t>(r)].ops.size());
+  }
   // Deterministic per-rank OS-noise streams (see ExecutorParams).
   std::vector<Rng> jitter;
   jitter.reserve(static_cast<std::size_t>(ranks));
@@ -87,9 +135,12 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                      exec_params_.wakeup_jitter_max
                : 0.0;
   };
-  std::map<MatchKey, std::deque<PendingPost>> unmatched_sends;
-  std::map<MatchKey, std::deque<PendingPost>> unmatched_recvs;
-  std::map<simnet::FlowId, FlowBinding> flow_bindings;
+  std::unordered_map<MatchKey, PostFifo, MatchKeyHash> unmatched_sends;
+  std::unordered_map<MatchKey, PostFifo, MatchKeyHash> unmatched_recvs;
+  std::unordered_map<simnet::FlowId, FlowBinding, FlowIdHash> flow_bindings;
+  unmatched_sends.reserve(static_cast<std::size_t>(2 * ranks));
+  unmatched_recvs.reserve(static_cast<std::size_t>(2 * ranks));
+  flow_bindings.reserve(static_cast<std::size_t>(2 * ranks));
   std::int32_t barrier_arrivals = 0;
   std::int32_t done_count = 0;
 
@@ -114,8 +165,9 @@ ExecutionResult Executor::run(const ProgramSet& set) {
           send_rank, recv_rank, send.bytes, send.tag, start, 0, 0,
           send.tag >= kSyncTag});
     }
-    flow_bindings[flow] =
-        FlowBinding{send_rank, send_req, recv_rank, recv_req, trace_index};
+    flow_bindings.emplace(
+        flow,
+        FlowBinding{send_rank, send_req, recv_rank, recv_req, trace_index});
     result.network_bytes += static_cast<double>(send.bytes);
     ++result.message_count;
   };
@@ -238,7 +290,9 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     }
   };
 
-  auto release_barrier_if_ready = [&]() -> bool {
+  // Wakes every barrier-blocked rank (appending to `woken`) once all
+  // live ranks have arrived.
+  auto release_barrier_if_ready = [&](std::vector<Rank>& woken) -> bool {
     if (barrier_arrivals < ranks - done_count || barrier_arrivals == 0) {
       return false;
     }
@@ -255,23 +309,44 @@ ExecutionResult Executor::run(const ProgramSet& set) {
       if (c.state == RankState::kBarrier) {
         c.clock = release + wakeup_jitter(r);
         c.state = RankState::kRunnable;
+        woken.push_back(r);
       }
     }
     barrier_arrivals = 0;
     return true;
   };
 
+  // Runnable-rank scheduling: a rank is stepped only when something can
+  // have unblocked it — initially, after a barrier release, or when one
+  // of its requests completes. Stepping one rank can never unblock
+  // another mid-wave (request completion happens only in advance_to and
+  // barrier release only between waves), so each wave's membership is
+  // fixed up front; processing waves in ascending rank order makes the
+  // schedule identical to the seed's step-every-rank polling loop.
+  std::vector<Rank> wave;
+  std::vector<char> queued(static_cast<std::size_t>(ranks), 0);
+  wave.reserve(static_cast<std::size_t>(ranks));
+  for (Rank r = 0; r < ranks; ++r) wave.push_back(r);
+  auto enqueue = [&](Rank r) {
+    if (!queued[static_cast<std::size_t>(r)]) {
+      queued[static_cast<std::size_t>(r)] = 1;
+      wave.push_back(r);
+    }
+  };
+
   std::vector<simnet::FlowId> completed;
   while (done_count < ranks) {
-    // 1. Let every rank run as far as it can.
-    bool progressed = false;
-    for (Rank r = 0; r < ranks; ++r) {
-      progressed = step_rank(r) || progressed;
+    // 1. Let every runnable rank run as far as it can (rank order).
+    for (const Rank r : wave) {
+      queued[static_cast<std::size_t>(r)] = 0;
+      step_rank(r);
     }
-    if (progressed) continue;
+    wave.clear();
+    if (done_count >= ranks) break;
     // 2. Barrier release?
-    if (release_barrier_if_ready()) continue;
-    // 3. Advance the network to its next event.
+    if (release_barrier_if_ready(wave)) continue;
+    // 3. Advance the network to its next event; its completions decide
+    // the next wave.
     const SimTime next = network.next_event_time();
     if (next == simnet::kNever) {
       std::ostringstream os;
@@ -310,8 +385,11 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         record.end = drained;
         record.delivered = recv.completion;
       }
+      enqueue(binding.send_rank);
+      enqueue(binding.recv_rank);
       flow_bindings.erase(it);
     }
+    std::sort(wave.begin(), wave.end());
   }
 
   // Leftover unmatched posts indicate a malformed algorithm.

@@ -1,6 +1,7 @@
 #include "aapc/simnet/fluid_network.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "aapc/common/error.hpp"
 
@@ -11,6 +12,17 @@ namespace {
 // symmetric flows finish in one batch (fewer rate recomputations and no
 // artificial ordering from rounding noise).
 constexpr double kTimeEpsilon = 1e-12;
+
+// Conservative completion prefilter: if remaining > rate * kPrefilter
+// then remaining / rate > kTimeEpsilon under any rounding of the
+// division (the slack is ~1e-7 relative, dwarfing the ~1e-16 rounding
+// error), so the flow cannot complete and the division is skipped.
+constexpr double kPrefilter = kTimeEpsilon * (1.0 + 1e-7);
+
+// Min-heap ordering for (start time, flow id): earliest start first,
+// lower flow id first among equal starts.
+constexpr auto kPendingOrder =
+    std::greater<std::pair<SimTime, FlowId>>{};
 }  // namespace
 
 FluidNetwork::FluidNetwork(const topology::Topology& topo,
@@ -24,8 +36,13 @@ FluidNetwork::FluidNetwork(const topology::Topology& topo,
   stats_.edge_bytes.assign(
       static_cast<std::size_t>(topo.directed_edge_count()), 0.0);
   row_count_ = topo.directed_edge_count() + topo.node_count();
-  row_capacity_.assign(static_cast<std::size_t>(row_count_), 0.0);
-  row_flow_count_.assign(static_cast<std::size_t>(row_count_), 0);
+  const auto rows = static_cast<std::size_t>(row_count_);
+  row_flow_count_.assign(rows, 0);
+  row_flows_.resize(rows);
+  row_active_pos_.assign(rows, -1);
+  fill_capacity_.assign(rows, 0.0);
+  fill_count_.assign(rows, 0);
+  fill_share_.assign(rows, 0.0);
   edge_is_machine_.resize(stats_.edge_bytes.size());
   for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
     edge_is_machine_[static_cast<std::size_t>(e)] =
@@ -34,7 +51,7 @@ FluidNetwork::FluidNetwork(const topology::Topology& topo,
   }
   // Static base capacities per row (contention scaling happens per
   // recompute; everything else is topology-constant).
-  row_base_capacity_.assign(static_cast<std::size_t>(row_count_), 0.0);
+  row_base_capacity_.assign(rows, 0.0);
   const double protocol = params.protocol_efficiency;
   for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
     row_base_capacity_[static_cast<std::size_t>(e)] =
@@ -61,51 +78,178 @@ FlowId FluidNetwork::add_flow(topology::NodeId src, topology::NodeId dst,
   AAPC_REQUIRE(start >= now_ - kTimeEpsilon,
                "flow starts in the past: " << start << " < " << now_);
   AAPC_REQUIRE(src != dst, "self flows are not network flows");
+  // Validates the endpoints and the tree path up front (same failure
+  // behavior as the eager seed code); the path itself is re-derived at
+  // activation time, so pending flows carry no per-flow heap storage.
+  topo_.path_into(src, dst, path_scratch_);
   Flow flow;
-  flow.path = topo_.path(src, dst);
-  // Capacity rows: path edges, the two endpoint machines (duplex cap),
-  // and every switch traversed (fabric cap). Node rows are indexed
-  // directed_edge_count() + node id.
-  flow.constraints.reserve(2 * flow.path.size() + 1);
-  for (const topology::EdgeId e : flow.path) {
-    flow.constraints.push_back(e);
-  }
-  flow.constraints.push_back(topo_.directed_edge_count() + src);
-  flow.constraints.push_back(topo_.directed_edge_count() + dst);
-  for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
-    flow.constraints.push_back(topo_.directed_edge_count() +
-                               topo_.edge_target(flow.path[i]));
-  }
-  flow.remaining = static_cast<double>(bytes);
+  flow.src = src;
+  flow.dst = dst;
+  flow.hops = static_cast<std::int32_t>(path_scratch_.size());
+  flow.bytes = static_cast<double>(bytes);
   flow.start = std::max(start, now_);
   const FlowId id = static_cast<FlowId>(flows_.size());
-  flows_.push_back(std::move(flow));
-  if (flows_.back().start <= now_ + kTimeEpsilon) {
-    flows_.back().active = true;
-    active_.push_back(id);
-    ++active_count_;
-    stats_.max_concurrent_flows =
-        std::max<std::int64_t>(stats_.max_concurrent_flows, active_count_);
-    recompute_rates();
+  flows_.push_back(flow);
+  if (flow.start <= now_ + kTimeEpsilon) {
+    activate(id);
+    rates_dirty_ = true;
   } else {
-    pending_.push_back(id);
+    pending_heap_.emplace_back(flow.start, id);
+    std::push_heap(pending_heap_.begin(), pending_heap_.end(),
+                   kPendingOrder);
     ++pending_count_;
+    ++stats_.pending_heap_pushes;
   }
   return id;
 }
 
-SimTime FluidNetwork::next_event_time() const {
-  SimTime best = kNever;
-  for (const FlowId id : pending_) {
-    best = std::min(best, flows_[static_cast<std::size_t>(id)].start);
+void FluidNetwork::activate(FlowId id) {
+  Flow& flow = flows_[static_cast<std::size_t>(id)];
+  // Derive the path and constraint rows into scratch. Constraint order
+  // is free (the at-bottleneck test is a disjunction over rows evaluated
+  // at one instant, and per-row capacity updates commute), so the rows
+  // most likely to be the bottleneck go first to shorten the
+  // first-match scan: the endpoint machines' duplex rows, then the path
+  // edges, then every switch traversed (fabric cap). Node rows are
+  // indexed directed_edge_count() + node id.
+  topo_.path_into(flow.src, flow.dst, path_scratch_);
+  cons_scratch_.clear();
+  cons_scratch_.push_back(topo_.directed_edge_count() + flow.dst);
+  cons_scratch_.push_back(topo_.directed_edge_count() + flow.src);
+  for (const topology::EdgeId e : path_scratch_) {
+    cons_scratch_.push_back(e);
   }
-  for (const FlowId id : active_) {
-    const Flow& flow = flows_[static_cast<std::size_t>(id)];
-    if (flow.rate > 0) {
-      best = std::min(best, now_ + flow.remaining / flow.rate);
+  for (std::size_t i = 0; i + 1 < path_scratch_.size(); ++i) {
+    cons_scratch_.push_back(topo_.directed_edge_count() +
+                            topo_.edge_target(path_scratch_[i]));
+  }
+  flow.active = true;
+  flow.active_pos = static_cast<std::int64_t>(active_.size());
+  active_.push_back(id);
+  act_rate_.push_back(0.0);
+  act_remaining_.push_back(flow.bytes);
+  const std::size_t len = cons_scratch_.size();
+  const auto off = static_cast<std::int64_t>(act_cons_pool_.size());
+  act_cons_off_.push_back(off);
+  act_cons_len_.push_back(static_cast<std::int32_t>(len));
+  act_cons_pool_.insert(act_cons_pool_.end(), cons_scratch_.begin(),
+                        cons_scratch_.end());
+  act_rpos_pool_.resize(act_rpos_pool_.size() + len);
+  act_cons_live_ += static_cast<std::int64_t>(len);
+  ++active_count_;
+  stats_.max_concurrent_flows =
+      std::max<std::int64_t>(stats_.max_concurrent_flows, active_count_);
+  for (std::size_t k = 0; k < len; ++k) {
+    const auto row = static_cast<std::size_t>(cons_scratch_[k]);
+    if (row_flow_count_[row]++ == 0) {
+      row_active_pos_[row] =
+          static_cast<std::int32_t>(active_rows_.size());
+      active_rows_.push_back(static_cast<std::int32_t>(row));
+    }
+    act_rpos_pool_[static_cast<std::size_t>(off) + k] =
+        static_cast<std::int32_t>(row_flows_[row].size());
+    row_flows_[row].push_back(id);
+  }
+  stats_.max_active_rows = std::max<std::int64_t>(
+      stats_.max_active_rows,
+      static_cast<std::int64_t>(active_rows_.size()));
+}
+
+void FluidNetwork::finish_flow(FlowId id) {
+  Flow& flow = flows_[static_cast<std::size_t>(id)];
+  const auto pos = static_cast<std::size_t>(flow.active_pos);
+  const auto off = static_cast<std::size_t>(act_cons_off_[pos]);
+  const auto len = static_cast<std::size_t>(act_cons_len_[pos]);
+  // Detach from per-row flow lists and shrink the active-row set.
+  for (std::size_t k = 0; k < len; ++k) {
+    const auto row = static_cast<std::size_t>(act_cons_pool_[off + k]);
+    auto& list = row_flows_[row];
+    const auto rpos = static_cast<std::size_t>(act_rpos_pool_[off + k]);
+    list[rpos] = list.back();
+    list.pop_back();
+    if (rpos < list.size()) {
+      // Fix the moved flow's recorded position for this row.
+      const auto mpos = static_cast<std::size_t>(
+          flows_[static_cast<std::size_t>(list[rpos])].active_pos);
+      const auto moff = static_cast<std::size_t>(act_cons_off_[mpos]);
+      const auto mlen = static_cast<std::size_t>(act_cons_len_[mpos]);
+      for (std::size_t j = 0; j < mlen; ++j) {
+        if (static_cast<std::size_t>(act_cons_pool_[moff + j]) == row) {
+          act_rpos_pool_[moff + j] = static_cast<std::int32_t>(rpos);
+          break;
+        }
+      }
+    }
+    if (--row_flow_count_[row] == 0) {
+      const auto apos = static_cast<std::size_t>(row_active_pos_[row]);
+      active_rows_[apos] = active_rows_.back();
+      active_rows_.pop_back();
+      if (apos < active_rows_.size()) {
+        row_active_pos_[static_cast<std::size_t>(active_rows_[apos])] =
+            static_cast<std::int32_t>(apos);
+      }
+      row_active_pos_[row] = -1;
     }
   }
-  return best;
+  // Credit the flow's payload to its path edges once, at completion:
+  // flows always run to completion, so this equals the per-drain sum up
+  // to rounding, and stats are only read after the run. The edge rows
+  // within the constraint slice are exactly the path edges.
+  const auto edge_rows = static_cast<std::int32_t>(stats_.edge_bytes.size());
+  for (std::size_t k = 0; k < len; ++k) {
+    const std::int32_t row = act_cons_pool_[off + k];
+    if (row < edge_rows) {
+      stats_.edge_bytes[static_cast<std::size_t>(row)] += flow.bytes;
+    }
+  }
+  // Swap-remove from active_ and the parallel hot arrays (same removal
+  // order as a linear scan, so active_ ordering — and thus allocation
+  // tie-breaking — is unchanged). The arena slice becomes garbage until
+  // the next compaction.
+  active_[pos] = active_.back();
+  active_.pop_back();
+  act_rate_[pos] = act_rate_.back();
+  act_rate_.pop_back();
+  act_remaining_[pos] = act_remaining_.back();
+  act_remaining_.pop_back();
+  act_cons_live_ -= act_cons_len_[pos];
+  act_cons_off_[pos] = act_cons_off_.back();
+  act_cons_off_.pop_back();
+  act_cons_len_[pos] = act_cons_len_.back();
+  act_cons_len_.pop_back();
+  if (static_cast<std::int64_t>(act_cons_pool_.size()) >
+      2 * act_cons_live_ + 64) {
+    compact_cons_pool();
+  }
+  if (pos < active_.size()) {
+    flows_[static_cast<std::size_t>(active_[pos])].active_pos =
+        static_cast<std::int64_t>(pos);
+  }
+  flow.active_pos = -1;
+  --active_count_;
+}
+
+void FluidNetwork::compact_cons_pool() {
+  std::vector<std::int32_t> pool;
+  std::vector<std::int32_t> rpos;
+  pool.reserve(static_cast<std::size_t>(act_cons_live_));
+  rpos.reserve(static_cast<std::size_t>(act_cons_live_));
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const auto off = static_cast<std::size_t>(act_cons_off_[i]);
+    const auto len = static_cast<std::size_t>(act_cons_len_[i]);
+    act_cons_off_[i] = static_cast<std::int64_t>(pool.size());
+    pool.insert(pool.end(), act_cons_pool_.begin() + off,
+                act_cons_pool_.begin() + off + len);
+    rpos.insert(rpos.end(), act_rpos_pool_.begin() + off,
+                act_rpos_pool_.begin() + off + len);
+  }
+  act_cons_pool_.swap(pool);
+  act_rpos_pool_.swap(rpos);
+}
+
+SimTime FluidNetwork::next_event_time() const {
+  ensure_rates();
+  return internal_next_event();
 }
 
 void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
@@ -113,74 +257,67 @@ void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
                "cannot rewind network time to " << when << " from " << now_);
   while (true) {
     // Next internal event within (now_, when].
-    SimTime step_end = when;
-    for (const FlowId id : pending_) {
-      step_end = std::min(step_end, flows_[static_cast<std::size_t>(id)].start);
-    }
-    for (const FlowId id : active_) {
-      const Flow& flow = flows_[static_cast<std::size_t>(id)];
-      if (flow.rate > 0) {
-        step_end = std::min(step_end, now_ + flow.remaining / flow.rate);
-      }
-    }
+    ensure_rates();
+    SimTime step_end = std::min(when, internal_next_event());
     step_end = std::max(step_end, now_);
 
-    // Drain progress over [now_, step_end].
+    // Drain progress over [now_, step_end]. Sequential over the dense
+    // hot arrays; per-edge byte accounting happens at completion.
     const double dt = step_end - now_;
     if (dt > 0) {
-      for (const FlowId id : active_) {
-        Flow& flow = flows_[static_cast<std::size_t>(id)];
-        const double moved = std::min(flow.remaining, flow.rate * dt);
-        flow.remaining -= moved;
+      const std::size_t n = active_.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double moved = std::min(act_remaining_[i], act_rate_[i] * dt);
+        act_remaining_[i] -= moved;
         total_delivered_bytes_ += moved;
-        for (const topology::EdgeId e : flow.path) {
-          stats_.edge_bytes[static_cast<std::size_t>(e)] += moved;
-        }
       }
       now_ = step_end;
     }
 
-    // Collect completions (remaining ~ 0) and activations due now.
+    // Collect completions (remaining ~ 0) and activations due now. The
+    // scan is skipped while provably nothing can complete: a flow can
+    // pass the relative test only within kTimeEpsilon of the cached
+    // next_completion_, and completable_now_ covers the absolute test
+    // (e.g. zero-byte flows). kPrefilter turns the per-flow division
+    // into a multiply for flows that cannot pass either test.
     bool topology_changed = false;
-    for (std::size_t i = 0; i < active_.size();) {
-      const FlowId id = active_[i];
-      Flow& flow = flows_[static_cast<std::size_t>(id)];
-      // A flow can only hit zero if its rate was positive; rate 0 with
-      // remaining 0 means it was added with 0 bytes — complete it too.
-      if (flow.remaining <= kTimeEpsilon ||
-          (flow.rate > 0 && flow.remaining / flow.rate <= kTimeEpsilon)) {
-        flow.remaining = 0;
-        flow.done = true;
-        flow.active = false;
-        completed.push_back(id);
-        ++stats_.completed_flows;
-        active_[i] = active_.back();
-        active_.pop_back();
-        --active_count_;
-        topology_changed = true;
-      } else {
-        ++i;
+    if (completable_now_ || now_ >= next_completion_ - 2 * kTimeEpsilon) {
+      for (std::size_t i = 0; i < active_.size();) {
+        if (act_remaining_[i] > kTimeEpsilon &&
+            act_remaining_[i] > act_rate_[i] * kPrefilter) {
+          ++i;
+          continue;
+        }
+        // A flow can only hit zero if its rate was positive; rate 0 with
+        // remaining 0 means it was added with 0 bytes — complete it too.
+        if (act_remaining_[i] <= kTimeEpsilon ||
+            (act_rate_[i] > 0 &&
+             act_remaining_[i] / act_rate_[i] <= kTimeEpsilon)) {
+          const FlowId id = active_[i];
+          Flow& flow = flows_[static_cast<std::size_t>(id)];
+          flow.done = true;
+          flow.active = false;
+          completed.push_back(id);
+          ++stats_.completed_flows;
+          finish_flow(id);
+          topology_changed = true;
+        } else {
+          ++i;
+        }
       }
     }
-    for (std::size_t i = 0; i < pending_.size();) {
-      const FlowId id = pending_[i];
-      Flow& flow = flows_[static_cast<std::size_t>(id)];
-      if (flow.start <= now_ + kTimeEpsilon) {
-        flow.active = true;
-        active_.push_back(id);
-        ++active_count_;
-        stats_.max_concurrent_flows =
-            std::max<std::int64_t>(stats_.max_concurrent_flows, active_count_);
-        pending_[i] = pending_.back();
-        pending_.pop_back();
-        --pending_count_;
-        topology_changed = true;
-      } else {
-        ++i;
-      }
+    while (!pending_heap_.empty() &&
+           pending_heap_.front().first <= now_ + kTimeEpsilon) {
+      const FlowId id = pending_heap_.front().second;
+      std::pop_heap(pending_heap_.begin(), pending_heap_.end(),
+                    kPendingOrder);
+      pending_heap_.pop_back();
+      --pending_count_;
+      activate(id);
+      topology_changed = true;
     }
     if (topology_changed) {
-      recompute_rates();
+      rates_dirty_ = true;
     }
     if (now_ >= when - kTimeEpsilon) {
       now_ = std::max(now_, when);
@@ -192,8 +329,7 @@ void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
 std::int32_t FluidNetwork::flow_hops(FlowId flow) const {
   AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
                "bad flow id " << flow);
-  return static_cast<std::int32_t>(
-      flows_[static_cast<std::size_t>(flow)].path.size());
+  return flows_[static_cast<std::size_t>(flow)].hops;
 }
 
 double FluidNetwork::aggregate_throughput() const {
@@ -201,70 +337,155 @@ double FluidNetwork::aggregate_throughput() const {
 }
 
 void FluidNetwork::recompute_rates() {
+  rates_dirty_ = false;
   ++stats_.rate_recomputations;
   const std::int32_t edge_rows = topo_.directed_edge_count();
-  std::fill(row_flow_count_.begin(), row_flow_count_.end(), 0);
-  flow_fixed_.assign(active_.size(), 0);
-
-  for (const FlowId id : active_) {
-    for (const std::int32_t c : flows_[static_cast<std::size_t>(id)].constraints) {
-      row_flow_count_[static_cast<std::size_t>(c)] += 1;
-    }
-  }
-  // Edge rows: usable capacity shrinks with the number of concurrent
-  // flows (incast / trunk congestion). Machine rows: the duplex cap on
-  // combined send+receive rate of one host.
-  for (std::int32_t c = 0; c < row_count_; ++c) {
+  // Per-recompute scratch, initialized for active rows only. Edge rows:
+  // usable capacity shrinks with the number of concurrent flows (incast
+  // / trunk congestion). Machine rows: the duplex cap on combined
+  // send+receive rate of one host.
+  for (const std::int32_t c : active_rows_) {
     const auto idx = static_cast<std::size_t>(c);
-    if (c < edge_rows) {
-      row_capacity_[idx] =
-          row_base_capacity_[idx] *
-          params_.contention_efficiency(edge_is_machine_[idx] != 0,
-                                        row_flow_count_[idx]);
-    } else {
-      row_capacity_[idx] = row_base_capacity_[idx];
-    }
+    fill_count_[idx] = row_flow_count_[idx];
+    fill_capacity_[idx] =
+        c < edge_rows
+            ? row_base_capacity_[idx] *
+                  params_.contention_efficiency(edge_is_machine_[idx] != 0,
+                                                row_flow_count_[idx])
+            : row_base_capacity_[idx];
+  }
+  const std::size_t n = active_.size();
+  flow_fixed_.assign(n, 0);
+  flow_candidate_.assign(n, 0);
+  unfixed_list_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unfixed_list_[i] = static_cast<std::int64_t>(i);
   }
 
   // Progressive filling: repeatedly saturate the row with the smallest
-  // fair share, fixing its flows at that rate.
-  std::size_t unfixed = active_.size();
+  // fair share, fixing its flows at that rate. Only flows on a
+  // bottleneck row can be fixed in a round. Both discovery strategies
+  // below visit the fixable flows in ascending active_ position, so
+  // tie-breaking matches a full in-order scan of the active flows
+  // exactly.
+  std::size_t unfixed = n;
+  next_completion_ = kNever;
+  completable_now_ = false;
   while (unfixed > 0) {
+    // One division per row: the bottleneck collect below compares the
+    // cached round-start shares instead of re-dividing.
     double min_share = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < row_capacity_.size(); ++c) {
-      if (row_flow_count_[c] > 0) {
-        min_share =
-            std::min(min_share, row_capacity_[c] / row_flow_count_[c]);
+    for (const std::int32_t c : active_rows_) {
+      const auto idx = static_cast<std::size_t>(c);
+      if (fill_count_[idx] > 0) {
+        fill_share_[idx] = fill_capacity_[idx] / fill_count_[idx];
+        min_share = std::min(min_share, fill_share_[idx]);
       }
     }
     AAPC_CHECK(min_share < std::numeric_limits<double>::infinity());
-    // Fix every unfixed flow crossing a bottleneck row at min_share.
+    // Bottleneck rows this round, plus the combined length of their flow
+    // lists (which include already-fixed flows).
+    bottleneck_rows_.clear();
+    std::size_t budget = 0;
+    for (const std::int32_t c : active_rows_) {
+      const auto idx = static_cast<std::size_t>(c);
+      if (fill_count_[idx] > 0 &&
+          fill_share_[idx] <= min_share * (1 + 1e-9)) {
+        bottleneck_rows_.push_back(c);
+        budget += row_flows_[idx].size();
+      }
+    }
+
     bool fixed_any = false;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      if (flow_fixed_[i]) continue;
-      Flow& flow = flows_[static_cast<std::size_t>(active_[i])];
+    // Smallest remaining among flows fixed this round: enough to derive
+    // the earliest completion (see below) without a per-flow scan.
+    double round_min_rem = std::numeric_limits<double>::infinity();
+    // Constraint rows come from the flat arena, not the Flow structs:
+    // the whole scan stays within a few dense arrays.
+    const std::int32_t* const pool = act_cons_pool_.data();
+    const auto try_fix = [&](const std::size_t p) -> bool {
+      const std::int32_t* const cons = pool + act_cons_off_[p];
+      const std::int32_t len = act_cons_len_[p];
       bool at_bottleneck = false;
-      for (const std::int32_t c : flow.constraints) {
-        const auto idx = static_cast<std::size_t>(c);
-        if (row_capacity_[idx] / row_flow_count_[idx] <=
+      for (std::int32_t k = 0; k < len; ++k) {
+        const auto idx = static_cast<std::size_t>(cons[k]);
+        if (fill_capacity_[idx] / fill_count_[idx] <=
             min_share * (1 + 1e-9)) {
           at_bottleneck = true;
           break;
         }
       }
-      if (!at_bottleneck) continue;
-      flow.rate = min_share;
-      flow_fixed_[i] = 1;
+      if (!at_bottleneck) return false;
+      act_rate_[p] = min_share;
+      round_min_rem = std::min(round_min_rem, act_remaining_[p]);
+      flow_fixed_[p] = 1;
       fixed_any = true;
       --unfixed;
-      for (const std::int32_t c : flow.constraints) {
-        const auto idx = static_cast<std::size_t>(c);
-        row_capacity_[idx] = std::max(0.0, row_capacity_[idx] - min_share);
-        row_flow_count_[idx] -= 1;
+      for (std::int32_t k = 0; k < len; ++k) {
+        const auto idx = static_cast<std::size_t>(cons[k]);
+        fill_capacity_[idx] = std::max(0.0, fill_capacity_[idx] - min_share);
+        fill_count_[idx] -= 1;
       }
+      return true;
+    };
+
+    if (budget < unfixed) {
+      // Sparse round: the bottleneck rows' flow lists are shorter than
+      // the unfixed set — gather candidates from them (flag-deduped)
+      // and sort into active_ order.
+      candidates_.clear();
+      for (const std::int32_t c : bottleneck_rows_) {
+        for (const FlowId id : row_flows_[static_cast<std::size_t>(c)]) {
+          const std::int64_t pos =
+              flows_[static_cast<std::size_t>(id)].active_pos;
+          const auto p = static_cast<std::size_t>(pos);
+          if (!flow_fixed_[p] && !flow_candidate_[p]) {
+            flow_candidate_[p] = 1;
+            candidates_.push_back(pos);
+          }
+        }
+      }
+      std::sort(candidates_.begin(), candidates_.end());
+      for (const std::int64_t i : candidates_) {
+        flow_candidate_[static_cast<std::size_t>(i)] = 0;
+        try_fix(static_cast<std::size_t>(i));
+      }
+    } else {
+      // Dense round: most flows are at a bottleneck (e.g. everything
+      // crossing one switch fabric), so scan the unfixed list directly.
+      // It stays ascending by construction; entries fixed by earlier
+      // sparse rounds are skipped lazily, entries fixed this round are
+      // compacted out.
+      std::size_t w = 0;
+      for (const std::int64_t i : unfixed_list_) {
+        const auto p = static_cast<std::size_t>(i);
+        if (flow_fixed_[p]) continue;
+        if (!try_fix(p)) {
+          unfixed_list_[w++] = i;
+        }
+      }
+      unfixed_list_.resize(w);
     }
     AAPC_CHECK_MSG(fixed_any, "progressive filling made no progress");
+
+    // Fold this round into the cached earliest completion. All flows
+    // fixed this round share the rate min_share, and both the division
+    // and the addition round monotonically, so the round's earliest
+    // completion is now + min(remaining) / rate — the same value a
+    // per-flow min would produce. Rate-0 rounds can still complete
+    // zero-byte flows via the absolute remaining test; flag those.
+    if (round_min_rem < std::numeric_limits<double>::infinity()) {
+      if (min_share > 0) {
+        next_completion_ =
+            std::min(next_completion_, now_ + round_min_rem / min_share);
+      }
+      if (round_min_rem <= kTimeEpsilon) {
+        completable_now_ = true;
+      }
+    }
   }
+  // Between recomputations rates are constant, so the cached
+  // now + remaining/rate values stay valid as time advances.
 }
 
 }  // namespace aapc::simnet

@@ -12,10 +12,17 @@
 // The network only advances time forward (advance_to) and reports the
 // earliest flow completion (next_completion); the mpisim executor owns
 // the event loop.
+//
+// Hot-path data structures (see docs/SIMULATOR.md, "Complexity & data
+// structures"): progressive filling walks only the *active-row set*
+// (capacity rows with at least one flow) and discovers bottleneck flows
+// through per-row flow lists; pending activations live in a min-heap;
+// the earliest completion is cached once per rate recomputation.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "aapc/common/units.hpp"
@@ -39,6 +46,13 @@ struct NetworkStats {
   /// Peak number of simultaneously active flows (a direct measure of
   /// how much an algorithm floods the network).
   std::int64_t max_concurrent_flows = 0;
+  /// Flows that entered the pending-activation heap (added with a
+  /// future start time rather than activating immediately).
+  std::int64_t pending_heap_pushes = 0;
+  /// High-water mark of the active-row set: the most capacity rows that
+  /// simultaneously carried at least one flow. Progressive filling is
+  /// linear in this, not in the topology size.
+  std::int64_t max_active_rows = 0;
 };
 
 class FluidNetwork {
@@ -78,43 +92,125 @@ class FluidNetwork {
   double aggregate_throughput() const;
 
  private:
+  /// Plain-data per-flow record. The flow's tree path and constraint
+  /// rows are not stored here: they are derived (allocation-free) at
+  /// activation time and live in the flat arenas below only while the
+  /// flow is active, so memory stays proportional to live flows.
   struct Flow {
-    std::vector<topology::EdgeId> path;
-    /// Capacity rows this flow consumes: its path edges plus the two
-    /// endpoint-machine duplex rows (see recompute_rates).
-    std::vector<std::int32_t> constraints;
-    double remaining = 0;  // bytes
-    double rate = 0;       // bytes/sec; 0 while pending
+    topology::NodeId src = -1;
+    topology::NodeId dst = -1;
+    /// Total bytes of the transfer. Live progress is tracked in the
+    /// dense act_remaining_ array while the flow is active.
+    double bytes = 0;
     SimTime start = 0;
+    /// Path length (preserved after completion).
+    std::int32_t hops = 0;
+    /// Index in active_ while active, -1 otherwise.
+    std::int64_t active_pos = -1;
     bool active = false;
     bool done = false;
   };
 
+  /// Earliest internal event: pending-heap top vs cached completion.
+  /// Single source of truth for next_event_time() and advance_to().
+  /// Callers must ensure_rates() first so next_completion_ is fresh.
+  SimTime internal_next_event() const {
+    SimTime best = next_completion_;
+    if (!pending_heap_.empty() && pending_heap_.front().first < best) {
+      best = pending_heap_.front().first;
+    }
+    return best;
+  }
+
+  /// Rates are recomputed lazily: activations/completions only mark
+  /// them dirty, so a burst of same-instant topology changes (e.g.
+  /// registering a whole phase of flows) costs one progressive-filling
+  /// pass instead of one per change. No intermediate rate is observable
+  /// because no simulated time passes between the changes. Logically
+  /// const: callers with const access (next_event_time) still need
+  /// fresh caches.
+  void ensure_rates() const {
+    if (rates_dirty_) const_cast<FluidNetwork*>(this)->recompute_rates();
+  }
+
+  void activate(FlowId id);
+  /// Removes a completed flow from active_ / row lists and releases its
+  /// per-flow path/constraint storage (long sweeps stay O(live flows)).
+  void finish_flow(FlowId id);
+  void compact_cons_pool();
   void recompute_rates();
 
   const topology::Topology& topo_;
   NetworkParams params_;
   SimTime now_ = 0;
   std::vector<Flow> flows_;
-  std::vector<FlowId> pending_;  // not yet activated, unsorted
+  /// Min-heap of (start time, flow id) over not-yet-activated flows.
+  std::vector<std::pair<SimTime, FlowId>> pending_heap_;
   std::vector<FlowId> active_;
+  /// Hot per-active-flow state, parallel to active_ (structure-of-
+  /// arrays): the per-event drain, completion detection, and
+  /// next-completion scans touch only these two dense arrays instead of
+  /// chasing Flow structs.
+  std::vector<double> act_rate_;       // bytes/sec; 0 until first fill
+  std::vector<double> act_remaining_;  // bytes
+  /// Flat arena of the active flows' constraint rows: entry i of active_
+  /// owns the pool slice [act_cons_off_[i], act_cons_off_[i] +
+  /// act_cons_len_[i]). Within a slice, likely-bottleneck rows come
+  /// first (order is semantically free; it only shortens the
+  /// first-match bottleneck scan). The edge rows of a slice are exactly
+  /// the flow's path edges.
+  /// Progressive filling reads only this compact arena instead of
+  /// chasing per-flow heap vectors. act_rpos_pool_ mirrors the layout
+  /// with each entry's position in row_flows_[row] (O(1) detach).
+  /// Slices of completed flows become garbage; both pools are compacted
+  /// (in active_ order) once mostly dead, so memory stays proportional
+  /// to live flows.
+  std::vector<std::int32_t> act_cons_pool_;
+  std::vector<std::int32_t> act_rpos_pool_;
+  std::vector<std::int64_t> act_cons_off_;
+  std::vector<std::int32_t> act_cons_len_;
+  std::int64_t act_cons_live_ = 0;  // live entries in act_cons_pool_
+  // Scratch for activation (avoid per-flow allocation).
+  std::vector<topology::EdgeId> path_scratch_;
+  std::vector<std::int32_t> cons_scratch_;
   std::int64_t active_count_ = 0;
   std::int64_t pending_count_ = 0;
   double total_delivered_bytes_ = 0;
+  /// Earliest completion among active flows, computed once per
+  /// recompute_rates(). Invariant between recomputations: rates are
+  /// constant, so now + remaining/rate does not change as time advances.
+  SimTime next_completion_ = kNever;
+  /// True when some active flow already satisfies the absolute
+  /// remaining <= kTimeEpsilon completion test (e.g. zero-byte flows),
+  /// so the completion scan must run even before next_completion_.
+  bool completable_now_ = false;
+  bool rates_dirty_ = false;
   NetworkStats stats_;
 
   // Capacity rows: one per directed edge, then one duplex row per
-  // machine (rank order). Scratch buffers avoid per-call allocation.
+  // machine (rank order). Flow membership per row is maintained
+  // incrementally; filling touches only rows with nonzero flow count.
   std::int32_t row_count_ = 0;
-  std::vector<double> row_capacity_;
   std::vector<std::int32_t> row_flow_count_;
-  std::vector<char> flow_fixed_;
+  std::vector<std::vector<FlowId>> row_flows_;
+  std::vector<std::int32_t> active_rows_;     // rows with flow count > 0
+  std::vector<std::int32_t> row_active_pos_;  // index in active_rows_, -1
   // True for directed edges with a machine endpoint (incast model).
   std::vector<char> edge_is_machine_;
   // Static per-row base capacities (before contention scaling):
   // edge rows hold link_bandwidth(link) * protocol_efficiency; node rows
   // hold the duplex/fabric caps.
   std::vector<double> row_base_capacity_;
+  // Scratch for progressive filling (avoid per-call allocation). Only
+  // entries of active rows are meaningful.
+  std::vector<double> fill_capacity_;
+  std::vector<std::int32_t> fill_count_;
+  std::vector<double> fill_share_;  // per-row fair share, round start
+  std::vector<char> flow_fixed_;           // indexed by active_ position
+  std::vector<char> flow_candidate_;       // indexed by active_ position
+  std::vector<std::int64_t> candidates_;   // active_ positions, scratch
+  std::vector<std::int64_t> unfixed_list_; // active_ positions, ascending
+  std::vector<std::int32_t> bottleneck_rows_;  // scratch per round
 };
 
 }  // namespace aapc::simnet

@@ -199,24 +199,39 @@ NodeId Topology::lowest_common_ancestor(NodeId u, NodeId v) const {
 }
 
 std::vector<EdgeId> Topology::path(NodeId u, NodeId v) const {
+  std::vector<EdgeId> out;
+  path_into(u, v, out);
+  return out;
+}
+
+void Topology::path_into(NodeId u, NodeId v,
+                         std::vector<EdgeId>& out) const {
   require_finalized();
   require_valid_node(u);
   require_valid_node(v);
-  std::vector<EdgeId> up;     // edges from u towards the LCA
-  std::vector<EdgeId> down;   // edges from the LCA towards v (reversed)
+  // Locate the LCA first so `out` can be sized exactly and filled in
+  // place (no temporaries — this runs on the simulator's hot path).
   NodeId a = u;
   NodeId b = v;
+  while (depth_[a] > depth_[b]) a = parent_[a];
+  while (depth_[b] > depth_[a]) b = parent_[b];
   while (a != b) {
-    if (depth_[a] >= depth_[b]) {
-      up.push_back(parent_edge_[a]);
-      a = parent_[a];
-    } else {
-      down.push_back(reverse(parent_edge_[b]));
-      b = parent_[b];
-    }
+    a = parent_[a];
+    b = parent_[b];
   }
-  up.insert(up.end(), down.rbegin(), down.rend());
-  return up;
+  const auto up = static_cast<std::size_t>(depth_[u] - depth_[a]);
+  const auto down = static_cast<std::size_t>(depth_[v] - depth_[a]);
+  out.resize(up + down);
+  a = u;
+  for (std::size_t i = 0; i < up; ++i) {
+    out[i] = parent_edge_[a];
+    a = parent_[a];
+  }
+  b = v;
+  for (std::size_t i = 0; i < down; ++i) {
+    out[up + down - 1 - i] = reverse(parent_edge_[b]);
+    b = parent_[b];
+  }
 }
 
 std::int32_t Topology::path_length(NodeId u, NodeId v) const {

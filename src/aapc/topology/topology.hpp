@@ -114,6 +114,10 @@ class Topology {
   /// Empty when u == v.
   std::vector<EdgeId> path(NodeId u, NodeId v) const;
 
+  /// Allocation-free variant of path(): resizes `out` to the path
+  /// length and fills it in place (hot-path use by the simulator).
+  void path_into(NodeId u, NodeId v, std::vector<EdgeId>& out) const;
+
   /// Number of edges on path(u, v).
   std::int32_t path_length(NodeId u, NodeId v) const;
 
