@@ -1,7 +1,9 @@
 #include "aapc/mpisim/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "aapc/common/error.hpp"
@@ -18,7 +20,20 @@ enum class RankState : std::uint8_t {
   kWaitAll,   // blocked on all requests posted so far
   kBarrier,   // arrived at a barrier
   kDone,
+  kCrashed,   // crash-stop fault: never executes another op
 };
+
+const char* state_name(RankState state) {
+  switch (state) {
+    case RankState::kRunnable: return "runnable";
+    case RankState::kWait: return "wait";
+    case RankState::kWaitAll: return "waitall";
+    case RankState::kBarrier: return "barrier";
+    case RankState::kDone: return "done";
+    case RankState::kCrashed: return "crashed";
+  }
+  return "?";
+}
 
 struct Request {
   bool is_send = false;
@@ -98,6 +113,8 @@ struct FlowBinding {
   Rank recv_rank;
   RequestId recv_request;
   std::int64_t trace_index = -1;
+  /// Watchdog reposts already performed for this transfer.
+  std::int32_t attempts = 0;
 };
 
 }  // namespace
@@ -117,6 +134,11 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                                << " programs for " << ranks << " machines");
 
   simnet::FluidNetwork network(topo_, net_params_);
+  // Scripted link faults become ordinary network events up front.
+  for (const simnet::LinkCapacityEvent& event : exec_params_.capacity_events) {
+    network.schedule_capacity_change(event.when, event.link,
+                                     event.bandwidth_bytes_per_sec);
+  }
   std::vector<RankCtx> ctx(static_cast<std::size_t>(ranks));
   for (Rank r = 0; r < ranks; ++r) {
     ctx[static_cast<std::size_t>(r)].requests.reserve(
@@ -129,11 +151,35 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     jitter.emplace_back(exec_params_.jitter_seed +
                         0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r + 1));
   }
+  // Per-rank fault state (inert defaults: factor exactly 1.0 and an
+  // infinite crash time leave the arithmetic bit-identical to a
+  // fault-free run).
+  std::vector<double> cpu_slowdown(static_cast<std::size_t>(ranks), 1.0);
+  std::vector<SimTime> slowdown_onset(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<SimTime> crash_time(static_cast<std::size_t>(ranks),
+                                  simnet::kNever);
+  for (const RankFault& fault : exec_params_.rank_faults) {
+    AAPC_REQUIRE(fault.rank >= 0 && fault.rank < ranks,
+                 "rank fault for nonexistent rank " << fault.rank);
+    AAPC_REQUIRE(fault.cpu_slowdown >= 1.0,
+                 "cpu_slowdown must be >= 1, got " << fault.cpu_slowdown);
+    const auto idx = static_cast<std::size_t>(fault.rank);
+    cpu_slowdown[idx] = fault.cpu_slowdown;
+    slowdown_onset[idx] = fault.slowdown_onset;
+    crash_time[idx] = std::min(crash_time[idx], fault.crash_time);
+  }
+  // Multiplier on rank r's CPU-time costs at local time t.
+  auto cpu_factor = [&](Rank r, SimTime t) -> double {
+    const auto idx = static_cast<std::size_t>(r);
+    return t >= slowdown_onset[idx] ? cpu_slowdown[idx] : 1.0;
+  };
   auto wakeup_jitter = [&](Rank r) -> SimTime {
-    return exec_params_.wakeup_jitter_max > 0
-               ? jitter[static_cast<std::size_t>(r)].next_double() *
-                     exec_params_.wakeup_jitter_max
-               : 0.0;
+    const SimTime base =
+        exec_params_.wakeup_jitter_max > 0
+            ? jitter[static_cast<std::size_t>(r)].next_double() *
+                  exec_params_.wakeup_jitter_max
+            : 0.0;
+    return base * cpu_factor(r, ctx[static_cast<std::size_t>(r)].clock);
   };
   std::unordered_map<MatchKey, PostFifo, MatchKeyHash> unmatched_sends;
   std::unordered_map<MatchKey, PostFifo, MatchKeyHash> unmatched_recvs;
@@ -146,6 +192,34 @@ ExecutionResult Executor::run(const ProgramSet& set) {
 
   ExecutionResult result;
   result.rank_finish.assign(static_cast<std::size_t>(ranks), 0);
+  result.fault_markers = exec_params_.fault_markers;
+
+  // Transfer watchdog: min-heap of (deadline, flow) over in-flight
+  // transfers, only populated when the watchdog is enabled. Entries of
+  // flows that drained are skipped lazily.
+  std::vector<std::pair<SimTime, simnet::FlowId>> watchdog;
+  constexpr auto kWatchdogOrder =
+      std::greater<std::pair<SimTime, simnet::FlowId>>{};
+
+  // Registers the network flow of a matched transfer starting at
+  // `start` and (re)binds it to the request pair. Used for the initial
+  // rendezvous and for watchdog reposts.
+  auto post_flow = [&](Rank send_rank, RequestId send_req, Rank recv_rank,
+                       RequestId recv_req, SimTime start,
+                       std::int64_t trace_index, std::int32_t attempts) {
+    const Bytes bytes = ctx[static_cast<std::size_t>(send_rank)]
+                            .requests[static_cast<std::size_t>(send_req)]
+                            .bytes;
+    const simnet::FlowId flow =
+        network.add_flow(topo_.machine_node(send_rank),
+                         topo_.machine_node(recv_rank), bytes, start);
+    flow_bindings.emplace(flow, FlowBinding{send_rank, send_req, recv_rank,
+                                            recv_req, trace_index, attempts});
+    if (exec_params_.transfer_timeout > 0) {
+      watchdog.emplace_back(start + exec_params_.transfer_timeout, flow);
+      std::push_heap(watchdog.begin(), watchdog.end(), kWatchdogOrder);
+    }
+  };
 
   auto make_flow = [&](Rank send_rank, RequestId send_req, Rank recv_rank,
                        RequestId recv_req) {
@@ -155,9 +229,6 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     send.matched = true;
     recv.matched = true;
     const SimTime start = std::max(send.post_ready, recv.post_ready);
-    const simnet::FlowId flow =
-        network.add_flow(topo_.machine_node(send_rank),
-                         topo_.machine_node(recv_rank), send.bytes, start);
     std::int64_t trace_index = -1;
     if (exec_params_.record_trace) {
       trace_index = static_cast<std::int64_t>(result.trace.size());
@@ -165,9 +236,8 @@ ExecutionResult Executor::run(const ProgramSet& set) {
           send_rank, recv_rank, send.bytes, send.tag, start, 0, 0,
           send.tag >= kSyncTag});
     }
-    flow_bindings.emplace(
-        flow,
-        FlowBinding{send_rank, send_req, recv_rank, recv_req, trace_index});
+    post_flow(send_rank, send_req, recv_rank, recv_req, start, trace_index,
+              0);
     result.network_bytes += static_cast<double>(send.bytes);
     ++result.message_count;
   };
@@ -183,7 +253,8 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     bool progressed = false;
     while (true) {
       // Re-check blocking conditions.
-      if (c.state == RankState::kDone || c.state == RankState::kBarrier) {
+      if (c.state == RankState::kDone || c.state == RankState::kBarrier ||
+          c.state == RankState::kCrashed) {
         return progressed;
       }
       if (c.state == RankState::kWait) {
@@ -204,6 +275,12 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         c.state = RankState::kRunnable;
         progressed = true;
       }
+      // Crash-stop: once the rank's local clock reaches its crash time
+      // it never executes another op (fail-stop; no failure detection).
+      if (c.clock >= crash_time[static_cast<std::size_t>(r)]) {
+        c.state = RankState::kCrashed;
+        return true;
+      }
       const Program& program = set.programs[static_cast<std::size_t>(r)];
       if (c.pc >= program.ops.size()) {
         c.state = RankState::kDone;
@@ -216,7 +293,7 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         case OpKind::kIsend: {
           AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
                        "rank " << r << ": bad isend peer " << op.peer);
-          c.clock += net_params_.send_overhead;
+          c.clock += net_params_.send_overhead * cpu_factor(r, c.clock);
           const auto id = static_cast<RequestId>(c.requests.size());
           c.requests.push_back(Request{true, op.peer, op.bytes, op.tag,
                                        c.clock, false, false, 0});
@@ -235,7 +312,7 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         case OpKind::kIrecv: {
           AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
                        "rank " << r << ": bad irecv peer " << op.peer);
-          c.clock += net_params_.recv_overhead;
+          c.clock += net_params_.recv_overhead * cpu_factor(r, c.clock);
           const auto id = static_cast<RequestId>(c.requests.size());
           c.requests.push_back(Request{false, op.peer, op.bytes, op.tag,
                                        c.clock, false, false, 0});
@@ -281,7 +358,8 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         }
         case OpKind::kCopy: {
           c.clock += static_cast<double>(op.bytes) /
-                     exec_params_.memcpy_bandwidth_bytes_per_sec;
+                     exec_params_.memcpy_bandwidth_bytes_per_sec *
+                     cpu_factor(r, c.clock);
           ++c.pc;
           break;
         }
@@ -345,18 +423,70 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     if (done_count >= ranks) break;
     // 2. Barrier release?
     if (release_barrier_if_ready(wave)) continue;
-    // 3. Advance the network to its next event; its completions decide
-    // the next wave.
-    const SimTime next = network.next_event_time();
+    // 3. Advance the network to its next event (or the watchdog's next
+    // deadline); its completions decide the next wave. Watchdog entries
+    // of already-drained flows are pruned first so a stale deadline
+    // cannot mask a genuine stall.
+    while (!watchdog.empty() && flow_bindings.find(watchdog.front().second) ==
+                                    flow_bindings.end()) {
+      std::pop_heap(watchdog.begin(), watchdog.end(), kWatchdogOrder);
+      watchdog.pop_back();
+    }
+    SimTime next = network.next_event_time();
+    if (!watchdog.empty()) {
+      next = std::min(next, watchdog.front().first);
+    }
     if (next == simnet::kNever) {
+      // Every live rank is blocked and no event can unblock any of
+      // them: plain deadlock (mismatched posts), a crashed rank, or
+      // transfers stuck behind a down link with the watchdog disabled.
+      // Name the blocked ranks, their pending requests, and the stuck
+      // transfers (sorted — hash-map order must not leak in).
       std::ostringstream os;
-      os << "deadlock in program set '" << set.name << "':";
+      os << "deadlock in program set '" << set.name
+         << "': every live rank is blocked and the network is idle";
       for (Rank r = 0; r < ranks; ++r) {
         const RankCtx& c = ctx[static_cast<std::size_t>(r)];
-        os << "\n  rank " << r << ": pc=" << c.pc << " state="
-           << static_cast<int>(c.state) << " requests=" << c.requests.size();
+        if (c.state == RankState::kDone) continue;
+        os << "\n  rank " << r << ": " << state_name(c.state)
+           << " at pc=" << c.pc << "/"
+           << set.programs[static_cast<std::size_t>(r)].ops.size()
+           << ", clock=" << c.clock << " s";
+        std::int32_t listed = 0;
+        std::int64_t pending = 0;
+        for (const Request& req : c.requests) {
+          if (req.complete) continue;
+          ++pending;
+          if (listed >= 8) continue;
+          ++listed;
+          os << "\n    pending "
+             << (req.is_send ? "send to rank " : "recv from rank ")
+             << req.peer << " tag=" << req.tag << " bytes=" << req.bytes
+             << (req.matched ? " (matched, in flight)" : " (unmatched)");
+        }
+        if (pending > listed) {
+          os << "\n    ... " << (pending - listed)
+             << " more pending request(s)";
+        }
       }
-      throw InvalidArgument(os.str());
+      std::vector<std::string> stuck;
+      for (const auto& [flow, binding] : flow_bindings) {
+        if (network.flow_rate(flow) == 0 && network.flow_remaining(flow) > 0) {
+          const Request& send =
+              ctx[static_cast<std::size_t>(binding.send_rank)]
+                  .requests[static_cast<std::size_t>(binding.send_request)];
+          std::ostringstream line;
+          line << "\n  stuck transfer: rank " << binding.send_rank
+               << " -> rank " << binding.recv_rank << " tag=" << send.tag
+               << " bytes=" << send.bytes << " ("
+               << network.flow_remaining(flow)
+               << " bytes undelivered at rate 0 — link down?)";
+          stuck.push_back(line.str());
+        }
+      }
+      std::sort(stuck.begin(), stuck.end());
+      for (const std::string& line : stuck) os << line;
+      throw ExecutionStalled(os.str());
     }
     completed.clear();
     network.advance_to(next, completed);
@@ -389,6 +519,52 @@ ExecutionResult Executor::run(const ProgramSet& set) {
       enqueue(binding.recv_rank);
       flow_bindings.erase(it);
     }
+    // 4. Watchdog deadlines due now (completions at the same instant
+    // won above and already unbound their flows): cancel each stuck
+    // flow and repost it with exponential backoff, or abort the run
+    // once its retries are exhausted.
+    while (!watchdog.empty() && watchdog.front().first <= network.now()) {
+      const simnet::FlowId flow = watchdog.front().second;
+      std::pop_heap(watchdog.begin(), watchdog.end(), kWatchdogOrder);
+      watchdog.pop_back();
+      const auto it = flow_bindings.find(flow);
+      if (it == flow_bindings.end()) continue;  // drained before deadline
+      const FlowBinding binding = it->second;
+      const Request& send = ctx[static_cast<std::size_t>(binding.send_rank)]
+                                .requests[static_cast<std::size_t>(
+                                    binding.send_request)];
+      ++result.transfer_timeouts;
+      if (binding.attempts >= exec_params_.transfer_max_retries) {
+        std::ostringstream os;
+        os << "transfer aborted after " << (binding.attempts + 1)
+           << " attempt(s): rank " << binding.send_rank << " -> rank "
+           << binding.recv_rank << " tag=" << send.tag
+           << " bytes=" << send.bytes << " ("
+           << network.flow_remaining(flow)
+           << " bytes undelivered; timeout=" << exec_params_.transfer_timeout
+           << " s, retries exhausted — link down?)";
+        throw TransferAborted(os.str());
+      }
+      network.cancel_flow(flow);
+      flow_bindings.erase(it);
+      const SimTime backoff =
+          exec_params_.transfer_retry_backoff *
+          std::pow(exec_params_.transfer_backoff_multiplier,
+                   binding.attempts);
+      ++result.transfer_retries;
+      if (binding.trace_index >= 0) {
+        ++result.trace[static_cast<std::size_t>(binding.trace_index)].retries;
+      }
+      std::ostringstream label;
+      label << "retry " << (binding.attempts + 1) << "/"
+            << exec_params_.transfer_max_retries << ": rank "
+            << binding.send_rank << " -> rank " << binding.recv_rank
+            << " tag=" << send.tag;
+      result.fault_markers.push_back(FaultMarker{network.now(), label.str()});
+      post_flow(binding.send_rank, binding.send_request, binding.recv_rank,
+                binding.recv_request, network.now() + backoff,
+                binding.trace_index, binding.attempts + 1);
+    }
     std::sort(wave.begin(), wave.end());
   }
 
@@ -407,6 +583,12 @@ ExecutionResult Executor::run(const ProgramSet& set) {
   result.completion_time =
       *std::max_element(result.rank_finish.begin(), result.rank_finish.end());
   result.network_stats = network.stats();
+  // Params-supplied markers and watchdog markers in one time-sorted
+  // timeline (stable: registration order among equal times).
+  std::stable_sort(result.fault_markers.begin(), result.fault_markers.end(),
+                   [](const FaultMarker& a, const FaultMarker& b) {
+                     return a.time < b.time;
+                   });
   return result;
 }
 

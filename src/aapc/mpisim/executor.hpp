@@ -12,19 +12,45 @@
 //  * WAIT/WAITALL resume the rank at max(rank clock, completion time);
 //  * BARRIER releases all ranks at max(arrival clocks) + barrier_latency.
 //
-// The executor throws InvalidArgument with a per-rank state dump when the
-// program set deadlocks (e.g. mismatched sends/receives).
+// The executor throws ExecutionStalled (an InvalidArgument) with a
+// per-rank diagnostic naming the blocked ranks and their pending
+// sends/receives when the program set cannot make progress — whether
+// from a plain deadlock (mismatched sends/receives) or a fault-induced
+// stall (crashed rank, transfers stuck behind a down link with the
+// watchdog disabled). TransferAborted reports a transfer whose
+// watchdog retries were exhausted.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "aapc/common/error.hpp"
 #include "aapc/mpisim/program.hpp"
 #include "aapc/simnet/fluid_network.hpp"
 #include "aapc/simnet/params.hpp"
 #include "aapc/topology/topology.hpp"
 
 namespace aapc::mpisim {
+
+/// The run cannot make progress: every live rank is blocked and the
+/// network has no event to deliver. The message names each rank's
+/// state, its pending requests, unmatched posts, and any in-flight
+/// transfer stuck at rate 0 behind a down link. Derives from
+/// InvalidArgument (a deadlocking program set is malformed input).
+class ExecutionStalled : public InvalidArgument {
+ public:
+  explicit ExecutionStalled(const std::string& what)
+      : InvalidArgument(what) {}
+};
+
+/// A transfer exceeded ExecutorParams::transfer_timeout with all
+/// retries exhausted (e.g. a permanently-down link); the message names
+/// the endpoint ranks, tag, size, and attempt count.
+class TransferAborted : public Error {
+ public:
+  explicit TransferAborted(const std::string& what) : Error(what) {}
+};
 
 /// One matched point-to-point transfer, for tracing/visualization.
 struct MessageTrace {
@@ -39,6 +65,31 @@ struct MessageTrace {
   /// latency included).
   SimTime delivered = 0;
   bool is_sync = false;
+  /// Watchdog reposts this transfer needed before draining.
+  std::int32_t retries = 0;
+};
+
+/// A labeled instant on the simulated timeline — fault injections,
+/// watchdog retries/aborts. Rendered as instant events in the Chrome
+/// trace (trace::to_chrome_json overload).
+struct FaultMarker {
+  SimTime time = 0;
+  std::string label;
+};
+
+/// Degraded behaviour of one rank: CPU slowdown from an onset time
+/// (straggler) and/or crash-stop. A crashed rank stops executing its
+/// program; the run then ends in ExecutionStalled naming it (fail-stop
+/// without failure detection — in-flight transfers it already matched
+/// keep draining).
+struct RankFault {
+  Rank rank = -1;
+  /// Multiplier (>= 1) on the rank's CPU-time costs — send/recv posting
+  /// overheads, local copies, wakeup jitter — from slowdown_onset on.
+  double cpu_slowdown = 1.0;
+  SimTime slowdown_onset = 0;
+  /// Simulated time at which the rank crash-stops; kNever = healthy.
+  SimTime crash_time = simnet::kNever;
 };
 
 struct ExecutionResult {
@@ -53,6 +104,13 @@ struct ExecutionResult {
   simnet::NetworkStats network_stats;
   /// Per-message timeline; populated when ExecutorParams::record_trace.
   std::vector<MessageTrace> trace;
+  /// Transfers the watchdog timed out (each is then retried or aborted).
+  std::int64_t transfer_timeouts = 0;
+  /// Watchdog reposts after a timeout.
+  std::int64_t transfer_retries = 0;
+  /// Timeline markers, sorted by time: ExecutorParams::fault_markers
+  /// plus one marker per watchdog retry.
+  std::vector<FaultMarker> fault_markers;
 
   /// Aggregate throughput over the run: `payload_bytes` (caller-defined,
   /// normally |M|*(|M|-1)*msize) divided by completion time.
@@ -79,6 +137,32 @@ struct ExecutorParams {
 
   /// Record a MessageTrace per matched transfer in the result.
   bool record_trace = false;
+
+  // ---- fault injection (all defaults inert: a run with none of these
+  // set is bit-identical to the pre-fault executor) ----
+
+  /// Scripted link-capacity timeline applied to the run's network
+  /// (usually faults::compile() output). Events are scheduled before
+  /// the first op executes.
+  std::vector<simnet::LinkCapacityEvent> capacity_events;
+
+  /// Per-rank degradations (straggler slowdown, crash-stop).
+  std::vector<RankFault> rank_faults;
+
+  /// Markers copied into ExecutionResult::fault_markers (normally the
+  /// human-readable timeline of the injected fault plan).
+  std::vector<FaultMarker> fault_markers;
+
+  /// Transfer watchdog: a matched transfer that has not drained within
+  /// `transfer_timeout` of activating is canceled and reposted with
+  /// exponential backoff (transfer_retry_backoff *
+  /// transfer_backoff_multiplier^attempt), up to transfer_max_retries
+  /// reposts; exhausting them throws TransferAborted. 0 disables the
+  /// watchdog — stuck transfers then surface as ExecutionStalled.
+  SimTime transfer_timeout = 0;
+  std::int32_t transfer_max_retries = 3;
+  SimTime transfer_retry_backoff = milliseconds(5.0);
+  double transfer_backoff_multiplier = 2.0;
 };
 
 class Executor {

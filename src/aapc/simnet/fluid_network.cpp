@@ -49,13 +49,17 @@ FluidNetwork::FluidNetwork(const topology::Topology& topo,
         topo.is_machine(topo.edge_source(e)) ||
         topo.is_machine(topo.edge_target(e));
   }
-  // Static base capacities per row (contention scaling happens per
-  // recompute; everything else is topology-constant).
+  // Base capacities per row (contention scaling happens per recompute).
+  // All derive from the dense per-link capacity vector, the single O(1)
+  // bandwidth source that capacity events mutate; switch fabric rows
+  // stay tied to the nominal link rate (the backplane does not degrade
+  // when an attached cable does).
+  link_capacity_ = params.link_capacities(topo.link_count());
   row_base_capacity_.assign(rows, 0.0);
   const double protocol = params.protocol_efficiency;
   for (topology::EdgeId e = 0; e < topo.directed_edge_count(); ++e) {
     row_base_capacity_[static_cast<std::size_t>(e)] =
-        params.link_bandwidth(e / 2) * protocol;
+        link_capacity_[static_cast<std::size_t>(e / 2)] * protocol;
   }
   for (topology::NodeId node = 0; node < topo.node_count(); ++node) {
     const auto row = static_cast<std::size_t>(topo.directed_edge_count() +
@@ -64,7 +68,7 @@ FluidNetwork::FluidNetwork(const topology::Topology& topo,
       const topology::NodeId neighbor = topo.neighbors(node).front();
       const topology::LinkId link = topo.edge_between(node, neighbor) / 2;
       row_base_capacity_[row] =
-          2.0 * params.link_bandwidth(link) * protocol *
+          2.0 * link_capacity_[static_cast<std::size_t>(link)] * protocol *
           params.duplex_efficiency;
     } else {
       row_base_capacity_[row] =
@@ -155,7 +159,7 @@ void FluidNetwork::activate(FlowId id) {
       static_cast<std::int64_t>(active_rows_.size()));
 }
 
-void FluidNetwork::finish_flow(FlowId id) {
+void FluidNetwork::detach_flow(FlowId id, double credited_bytes) {
   Flow& flow = flows_[static_cast<std::size_t>(id)];
   const auto pos = static_cast<std::size_t>(flow.active_pos);
   const auto off = static_cast<std::size_t>(act_cons_off_[pos]);
@@ -191,15 +195,16 @@ void FluidNetwork::finish_flow(FlowId id) {
       row_active_pos_[row] = -1;
     }
   }
-  // Credit the flow's payload to its path edges once, at completion:
-  // flows always run to completion, so this equals the per-drain sum up
-  // to rounding, and stats are only read after the run. The edge rows
-  // within the constraint slice are exactly the path edges.
+  // Credit the flow's payload to its path edges once, at detach — the
+  // full message on completion, the bytes moved so far on cancellation
+  // — so this equals the per-drain sum up to rounding, and stats are
+  // only read after the run. The edge rows within the constraint slice
+  // are exactly the path edges.
   const auto edge_rows = static_cast<std::int32_t>(stats_.edge_bytes.size());
   for (std::size_t k = 0; k < len; ++k) {
     const std::int32_t row = act_cons_pool_[off + k];
     if (row < edge_rows) {
-      stats_.edge_bytes[static_cast<std::size_t>(row)] += flow.bytes;
+      stats_.edge_bytes[static_cast<std::size_t>(row)] += credited_bytes;
     }
   }
   // Swap-remove from active_ and the parallel hot arrays (same removal
@@ -299,7 +304,7 @@ void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
           flow.active = false;
           completed.push_back(id);
           ++stats_.completed_flows;
-          finish_flow(id);
+          detach_flow(id, flow.bytes);
           topology_changed = true;
         } else {
           ++i;
@@ -312,8 +317,23 @@ void FluidNetwork::advance_to(SimTime when, std::vector<FlowId>& completed) {
       std::pop_heap(pending_heap_.begin(), pending_heap_.end(),
                     kPendingOrder);
       pending_heap_.pop_back();
+      // Canceled-while-pending flows were uncounted by cancel_flow();
+      // their heap entries are discarded here, lazily.
+      if (flows_[static_cast<std::size_t>(id)].canceled) continue;
       --pending_count_;
       activate(id);
+      topology_changed = true;
+    }
+    // Capacity changes due now, after completions and activations at
+    // the same instant: a flow finishing exactly when its link fails
+    // finishes, and one starting then starts under the new capacity.
+    while (!capacity_events_.empty() &&
+           capacity_events_.front().when <= now_ + kTimeEpsilon) {
+      const CapacityEvent event = capacity_events_.front();
+      std::pop_heap(capacity_events_.begin(), capacity_events_.end(),
+                    capacity_event_after);
+      capacity_events_.pop_back();
+      apply_capacity(event.link, event.capacity);
       topology_changed = true;
     }
     if (topology_changed) {
@@ -330,6 +350,102 @@ std::int32_t FluidNetwork::flow_hops(FlowId flow) const {
   AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
                "bad flow id " << flow);
   return flows_[static_cast<std::size_t>(flow)].hops;
+}
+
+double FluidNetwork::flow_rate(FlowId flow) const {
+  AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+               "bad flow id " << flow);
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  if (!f.active) return 0.0;
+  ensure_rates();
+  return act_rate_[static_cast<std::size_t>(f.active_pos)];
+}
+
+double FluidNetwork::flow_remaining(FlowId flow) const {
+  AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+               "bad flow id " << flow);
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  if (f.done || f.canceled) return 0.0;
+  if (!f.active) return f.bytes;  // pending
+  return act_remaining_[static_cast<std::size_t>(f.active_pos)];
+}
+
+double FluidNetwork::link_capacity(topology::LinkId link) const {
+  AAPC_REQUIRE(link >= 0 && link < topo_.link_count(),
+               "bad link id " << link);
+  return link_capacity_[static_cast<std::size_t>(link)];
+}
+
+void FluidNetwork::set_link_capacity(topology::LinkId link,
+                                     double bytes_per_sec) {
+  apply_capacity(link, bytes_per_sec);
+}
+
+void FluidNetwork::schedule_capacity_change(SimTime when,
+                                            topology::LinkId link,
+                                            double bytes_per_sec) {
+  AAPC_REQUIRE(when >= now_ - kTimeEpsilon,
+               "capacity change scheduled in the past: " << when << " < "
+                                                         << now_);
+  AAPC_REQUIRE(link >= 0 && link < topo_.link_count(),
+               "bad link id " << link);
+  AAPC_REQUIRE(bytes_per_sec >= 0, "negative link capacity");
+  if (when <= now_ + kTimeEpsilon) {
+    apply_capacity(link, bytes_per_sec);
+    return;
+  }
+  capacity_events_.push_back(
+      CapacityEvent{when, capacity_event_seq_++, link, bytes_per_sec});
+  std::push_heap(capacity_events_.begin(), capacity_events_.end(),
+                 capacity_event_after);
+}
+
+bool FluidNetwork::cancel_flow(FlowId flow) {
+  AAPC_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+               "bad flow id " << flow);
+  Flow& f = flows_[static_cast<std::size_t>(flow)];
+  if (f.done || f.canceled) return false;
+  f.canceled = true;
+  ++stats_.canceled_flows;
+  if (f.active) {
+    const double moved = std::max(
+        0.0,
+        f.bytes - act_remaining_[static_cast<std::size_t>(f.active_pos)]);
+    detach_flow(flow, moved);
+    f.active = false;
+    rates_dirty_ = true;
+  } else {
+    // Still pending: uncount it now; the heap entry is skipped lazily
+    // when it surfaces.
+    --pending_count_;
+  }
+  return true;
+}
+
+void FluidNetwork::apply_capacity(topology::LinkId link,
+                                  double bytes_per_sec) {
+  AAPC_REQUIRE(link >= 0 && link < topo_.link_count(),
+               "bad link id " << link);
+  AAPC_REQUIRE(bytes_per_sec >= 0, "negative link capacity");
+  link_capacity_[static_cast<std::size_t>(link)] = bytes_per_sec;
+  const double protocol = params_.protocol_efficiency;
+  row_base_capacity_[static_cast<std::size_t>(2 * link)] =
+      bytes_per_sec * protocol;
+  row_base_capacity_[static_cast<std::size_t>(2 * link + 1)] =
+      bytes_per_sec * protocol;
+  // A machine endpoint's duplex cap derives from its (single) access
+  // link, which is this link exactly when the machine touches it.
+  const topology::NodeId ends[2] = {topo_.edge_source(2 * link),
+                                    topo_.edge_target(2 * link)};
+  for (const topology::NodeId node : ends) {
+    if (topo_.is_machine(node)) {
+      row_base_capacity_[static_cast<std::size_t>(
+          topo_.directed_edge_count() + node)] =
+          2.0 * bytes_per_sec * protocol * params_.duplex_efficiency;
+    }
+  }
+  rates_dirty_ = true;
+  ++stats_.capacity_changes;
 }
 
 double FluidNetwork::aggregate_throughput() const {

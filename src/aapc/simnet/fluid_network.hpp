@@ -49,6 +49,10 @@ struct NetworkStats {
   /// Flows that entered the pending-activation heap (added with a
   /// future start time rather than activating immediately).
   std::int64_t pending_heap_pushes = 0;
+  /// Link-capacity changes applied (immediate + scheduled fault events).
+  std::int64_t capacity_changes = 0;
+  /// Flows canceled before completion (executor watchdog retries).
+  std::int64_t canceled_flows = 0;
   /// High-water mark of the active-row set: the most capacity rows that
   /// simultaneously carried at least one flow. Progressive filling is
   /// linear in this, not in the topology size.
@@ -80,6 +84,44 @@ class FluidNetwork {
   /// Number of hops (directed edges) of a flow's path.
   std::int32_t flow_hops(FlowId flow) const;
 
+  /// Allocated rate (bytes/sec) of a flow under the current max-min
+  /// allocation; 0 for pending, canceled, or completed flows. A rate of
+  /// 0 on an *active* flow means it is stuck behind a down link.
+  double flow_rate(FlowId flow) const;
+
+  /// Bytes a flow still has to move: full size while pending, 0 once
+  /// completed or canceled.
+  double flow_remaining(FlowId flow) const;
+
+  // ---- time-varying link capacities (fault injection) ----
+
+  /// Raw capacity (bytes/sec, pre protocol efficiency) of a physical
+  /// link right now.
+  double link_capacity(topology::LinkId link) const;
+
+  /// Immediately sets a physical link's raw capacity, both directions
+  /// (0 = link down: flows crossing it keep their place but run at rate
+  /// 0 until the link recovers or they are canceled). Machine duplex
+  /// caps derived from the link are updated as well. Rates are
+  /// recomputed lazily, exactly like a flow activation.
+  void set_link_capacity(topology::LinkId link, double bytes_per_sec);
+
+  /// Schedules set_link_capacity(link, bytes_per_sec) at `when` >=
+  /// now(). Scheduled changes are simulation events: advance_to applies
+  /// them in (time, registration order), after completions and
+  /// activations at the same instant, and next_event_time() sees them.
+  /// A network with no scheduled changes behaves bit-identically to one
+  /// built before this API existed.
+  void schedule_capacity_change(SimTime when, topology::LinkId link,
+                                double bytes_per_sec);
+
+  /// Cancels a flow: a pending flow is dropped; an active flow is
+  /// detached with the bytes it already moved credited to its path
+  /// edges. Returns false (no-op) when the flow already completed or
+  /// was already canceled. Used by the executor's transfer watchdog to
+  /// repost timed-out transfers.
+  bool cancel_flow(FlowId flow);
+
   /// True when no flow is pending or running.
   bool idle() const { return active_count_ == 0 && pending_count_ == 0; }
 
@@ -109,15 +151,31 @@ class FluidNetwork {
     std::int64_t active_pos = -1;
     bool active = false;
     bool done = false;
+    /// Canceled by cancel_flow(); pending-heap entries of canceled
+    /// flows are skipped lazily at pop time.
+    bool canceled = false;
   };
 
-  /// Earliest internal event: pending-heap top vs cached completion.
-  /// Single source of truth for next_event_time() and advance_to().
-  /// Callers must ensure_rates() first so next_completion_ is fresh.
+  /// A scheduled link-capacity change; `seq` keeps same-instant changes
+  /// in registration order (deterministic).
+  struct CapacityEvent {
+    SimTime when = 0;
+    std::int64_t seq = 0;
+    topology::LinkId link = -1;
+    double capacity = 0;
+  };
+
+  /// Earliest internal event: pending-heap top vs cached completion vs
+  /// scheduled capacity change. Single source of truth for
+  /// next_event_time() and advance_to(). Callers must ensure_rates()
+  /// first so next_completion_ is fresh.
   SimTime internal_next_event() const {
     SimTime best = next_completion_;
     if (!pending_heap_.empty() && pending_heap_.front().first < best) {
       best = pending_heap_.front().first;
+    }
+    if (!capacity_events_.empty() && capacity_events_.front().when < best) {
+      best = capacity_events_.front().when;
     }
     return best;
   }
@@ -134,11 +192,24 @@ class FluidNetwork {
   }
 
   void activate(FlowId id);
-  /// Removes a completed flow from active_ / row lists and releases its
-  /// per-flow path/constraint storage (long sweeps stay O(live flows)).
-  void finish_flow(FlowId id);
+  /// Removes an active flow from active_ / row lists and releases its
+  /// per-flow path/constraint storage (long sweeps stay O(live flows)),
+  /// crediting `credited_bytes` of payload to its path edges — the full
+  /// message on completion, the bytes actually moved on cancellation.
+  void detach_flow(FlowId id, double credited_bytes);
+  /// Applies a link-capacity change now: updates link_capacity_ and the
+  /// derived row base capacities (both edge directions plus any machine
+  /// duplex row fed by the link) and marks rates dirty.
+  void apply_capacity(topology::LinkId link, double bytes_per_sec);
   void compact_cons_pool();
   void recompute_rates();
+
+  /// Min-heap ordering for scheduled capacity changes: earliest first,
+  /// registration order among equal times.
+  static bool capacity_event_after(const CapacityEvent& a,
+                                   const CapacityEvent& b) {
+    return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+  }
 
   const topology::Topology& topo_;
   NetworkParams params_;
@@ -197,10 +268,17 @@ class FluidNetwork {
   std::vector<std::int32_t> row_active_pos_;  // index in active_rows_, -1
   // True for directed edges with a machine endpoint (incast model).
   std::vector<char> edge_is_machine_;
-  // Static per-row base capacities (before contention scaling):
-  // edge rows hold link_bandwidth(link) * protocol_efficiency; node rows
-  // hold the duplex/fabric caps.
+  // Current raw per-link capacities (params overrides applied at
+  // construction; fault events mutate entries at runtime). Single O(1)
+  // source of truth for every per-link bandwidth read.
+  std::vector<double> link_capacity_;
+  // Per-row base capacities (before contention scaling): edge rows hold
+  // link_capacity_[link] * protocol_efficiency; node rows hold the
+  // duplex/fabric caps. Constant between capacity events.
   std::vector<double> row_base_capacity_;
+  // Scheduled capacity changes, min-heap by (when, seq).
+  std::vector<CapacityEvent> capacity_events_;
+  std::int64_t capacity_event_seq_ = 0;
   // Scratch for progressive filling (avoid per-call allocation). Only
   // entries of active rows are meaningful.
   std::vector<double> fill_capacity_;

@@ -12,9 +12,21 @@
 #include <utility>
 #include <vector>
 
+#include "aapc/common/error.hpp"
 #include "aapc/common/units.hpp"
 
 namespace aapc::simnet {
+
+/// A scheduled change of one physical link's raw capacity (both
+/// directions): the injectable form of a link fault — degradation,
+/// down (0 bytes/sec), or restoration. Consumed by
+/// FluidNetwork::schedule_capacity_change, usually via
+/// faults::compile().
+struct LinkCapacityEvent {
+  SimTime when = 0;
+  std::int32_t link = -1;
+  double bandwidth_bytes_per_sec = 0;
+};
 
 struct NetworkParams {
   /// Raw link bandwidth, both directions independently (duplex).
@@ -29,12 +41,29 @@ struct NetworkParams {
   /// is only optimal for the uniform model.)
   std::vector<std::pair<std::int32_t, double>> link_bandwidth_overrides;
 
-  /// Raw bandwidth of a specific physical link.
+  /// Raw bandwidth of a specific physical link. O(overrides) — fine for
+  /// one-off queries; anything per-link-per-event must go through
+  /// link_capacities() and index the resulting vector instead.
   double link_bandwidth(std::int32_t link) const {
     for (const auto& [id, bandwidth] : link_bandwidth_overrides) {
       if (id == link) return bandwidth;
     }
     return link_bandwidth_bytes_per_sec;
+  }
+
+  /// Dense per-link raw capacities with the overrides applied:
+  /// O(links + overrides) once, O(1) per query thereafter. This is the
+  /// vector FluidNetwork snapshots at construction and the faults layer
+  /// mutates at runtime (time-varying capacities).
+  std::vector<double> link_capacities(std::int32_t link_count) const {
+    std::vector<double> capacities(static_cast<std::size_t>(link_count),
+                                   link_bandwidth_bytes_per_sec);
+    for (const auto& [id, bandwidth] : link_bandwidth_overrides) {
+      AAPC_REQUIRE(id >= 0 && id < link_count,
+                   "bandwidth override for nonexistent link " << id);
+      capacities[static_cast<std::size_t>(id)] = bandwidth;
+    }
+    return capacities;
   }
 
   /// Fraction of the raw bandwidth available to payload once Ethernet,

@@ -124,15 +124,18 @@ SpanningTree compute_spanning_tree(const BridgeNetwork& network) {
   for (BridgeId b = 0; b < bridges; ++b) {
     bridge_node[b] = topo.add_switch(network.bridge_name(b));
   }
+  result.link_of_bridge_link.assign(network.links().size(), -1);
   for (std::size_t l = 0; l < network.links().size(); ++l) {
     if (result.forwarding[l]) {
       const auto& link = network.links()[l];
-      topo.add_link(bridge_node[link.a], bridge_node[link.b]);
+      result.link_of_bridge_link[l] =
+          topo.add_link(bridge_node[link.a], bridge_node[link.b]);
     }
   }
   for (const auto& machine : network.machines()) {
     const topology::NodeId node = topo.add_machine(machine.name);
-    topo.add_link(node, bridge_node[machine.bridge]);
+    result.machine_access_link.push_back(
+        topo.add_link(node, bridge_node[machine.bridge]));
   }
   topo.finalize();
   result.topology = std::move(topo);

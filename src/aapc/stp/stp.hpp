@@ -84,6 +84,12 @@ struct SpanningTree {
   std::vector<bool> forwarding;
   /// Root path cost per bridge.
   std::vector<std::int32_t> root_path_cost;
+  /// Per bridge link: the topology LinkId realizing it, or -1 when
+  /// blocked. Lets fault plans written against bridge links translate
+  /// to the tree a given election produced (and to a repaired tree).
+  std::vector<topology::LinkId> link_of_bridge_link;
+  /// Per machine (rank order): the topology LinkId of its access link.
+  std::vector<topology::LinkId> machine_access_link;
 };
 
 /// Runs the election. Requires a connected bridge graph with at least

@@ -1,6 +1,7 @@
 #include "aapc/trace/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "aapc/common/error.hpp"
@@ -22,10 +23,37 @@ std::string to_csv(const std::vector<mpisim::MessageTrace>& trace) {
   return os.str();
 }
 
-std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace) {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
+namespace {
+
+/// Minimal JSON string escaping for event/marker labels (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void append_transfer_events(
+    std::ostringstream& os, const std::vector<mpisim::MessageTrace>& trace,
+    bool& first) {
   for (const mpisim::MessageTrace& m : trace) {
     if (!first) os << ',';
     first = false;
@@ -40,9 +68,40 @@ std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace) {
          << ",\"ts\":" << format_double(to_microseconds(m.start), 3)
          << ",\"dur\":"
          << format_double(to_microseconds(m.end - m.start), 3)
-         << ",\"args\":{\"bytes\":" << m.bytes << ",\"dst\":" << m.dst
-         << "}}";
+         << ",\"args\":{\"bytes\":" << m.bytes << ",\"dst\":" << m.dst;
+      if (m.retries > 0) {
+        os << ",\"retries\":" << m.retries;
+      }
+      os << "}}";
     }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  append_transfer_events(os, trace, first);
+  os << "]}";
+  return os.str();
+}
+
+std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace,
+                           const std::vector<mpisim::FaultMarker>& markers) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  append_transfer_events(os, trace, first);
+  // Faults as process-global instant events on a dedicated track.
+  for (const mpisim::FaultMarker& marker : markers) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(marker.label)
+       << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+       << "\"tid\":\"faults\",\"ts\":"
+       << format_double(to_microseconds(marker.time), 3) << '}';
   }
   os << "]}";
   return os.str();

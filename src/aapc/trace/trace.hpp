@@ -22,8 +22,15 @@ namespace aapc::trace {
 std::string to_csv(const std::vector<mpisim::MessageTrace>& trace);
 
 /// Chrome trace-event JSON ("traceEvents" array; timestamps in
-/// microseconds; pid 0, tid = sender rank).
+/// microseconds; pid 0, tid = sender rank). Transfers the watchdog
+/// reposted carry a "retries" arg.
 std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace);
+
+/// As above, plus one global instant event per fault marker (fault
+/// injections, watchdog retries — ExecutionResult::fault_markers), so
+/// the fault timeline lines up with the transfers it perturbed.
+std::string to_chrome_json(const std::vector<mpisim::MessageTrace>& trace,
+                           const std::vector<mpisim::FaultMarker>& markers);
 
 struct GanttOptions {
   /// Total character width of the time axis.

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "aapc/codegen/codegen.hpp"
@@ -223,7 +224,11 @@ int main() {
 )RAW";
 
 void run_generated(const std::string& code, const std::string& label) {
-  const std::string dir = ::testing::TempDir();
+  // Private subdirectory: codegen_test also writes generated_alltoall.c
+  // into TempDir(), and under `ctest -j` the two binaries race.
+  const std::string dir =
+      ::testing::TempDir() + "/codegen_exec_" + label;
+  std::filesystem::create_directories(dir);
   const std::string source = dir + "/mock_runtime_" + label + ".cpp";
   const std::string generated = dir + "/generated_alltoall.c";
   const std::string binary = dir + "/alltoall_exec_" + label;

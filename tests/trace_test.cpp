@@ -3,6 +3,13 @@
 // contending data transfers ever overlap in simulated time.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "aapc/baselines/baselines.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/lowering/lower.hpp"
@@ -171,6 +178,195 @@ TEST(TraceTest, LinkUtilizationReport) {
       result.completion_time);
   EXPECT_NE(report.find("n0->s0"), std::string::npos);
   EXPECT_NE(report.find('%'), std::string::npos);
+}
+
+/// Strict recursive-descent parser for the Chrome trace-event JSON the
+/// renderer emits: validates the whole document and flattens each
+/// element of "traceEvents" into string/number fields (nested "args"
+/// keys become "args.<key>"). Any syntax error throws.
+class ChromeTraceParser {
+ public:
+  struct Event {
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+  };
+
+  explicit ChromeTraceParser(std::string text) : text_(std::move(text)) {}
+
+  std::vector<Event> parse() {
+    std::vector<Event> events;
+    expect('{');
+    const std::string key = parse_string();
+    if (key != "traceEvents") throw std::runtime_error("bad top key");
+    expect(':');
+    expect('[');
+    skip_space();
+    if (!consume(']')) {
+      do {
+        events.push_back(parse_event());
+      } while (consume(','));
+      expect(']');
+    }
+    expect('}');
+    skip_space();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing content");
+    return events;
+  }
+
+ private:
+  Event parse_event(const std::string& prefix = "", Event* into = nullptr) {
+    Event event;
+    Event& out = into ? *into : event;
+    expect('{');
+    do {
+      const std::string key = prefix + parse_string();
+      expect(':');
+      skip_space();
+      if (peek() == '"') {
+        out.strings[key] = parse_string();
+      } else if (peek() == '{') {
+        parse_event(key + ".", &out);
+      } else {
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        out.numbers[key] = std::strtod(begin, &end);
+        if (end == begin) throw std::runtime_error("bad number");
+        pos_ += static_cast<std::size_t>(end - begin);
+      }
+    } while (consume(','));
+    expect('}');
+    return out;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            c = static_cast<char>(
+                std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: throw std::runtime_error("unknown escape");
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) throw std::runtime_error("eof");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected ") + c);
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TraceTest, ChromeJsonParsesAndRoundTripsEventCounts) {
+  // Synthetic trace with every event class the renderer emits: data
+  // transfers (with and without retry annotations), a sync token, and
+  // fault markers whose labels need escaping.
+  std::vector<mpisim::MessageTrace> trace;
+  trace.push_back(
+      mpisim::MessageTrace{0, 1, 4096, 0, 0.001, 0.002, 0.0021, false, 2});
+  trace.push_back(
+      mpisim::MessageTrace{1, 2, 8192, 3, 0.002, 0.004, 0.0041, false, 0});
+  trace.push_back(mpisim::MessageTrace{2, 0, 4, mpisim::kSyncTag, 0.003,
+                                       0.003, 0.0031, true, 0});
+  const std::string tricky_label = "retry 1/3: \"quoted\"\nwith\tcontrol";
+  std::vector<mpisim::FaultMarker> markers;
+  markers.push_back(mpisim::FaultMarker{0.0015, "link 0 down"});
+  markers.push_back(mpisim::FaultMarker{0.0025, tricky_label});
+
+  const std::string json = to_chrome_json(trace, markers);
+  const std::vector<ChromeTraceParser::Event> events =
+      ChromeTraceParser(json).parse();
+  ASSERT_EQ(events.size(), trace.size() + markers.size());
+
+  std::int64_t durations = 0;
+  std::int64_t instants = 0;
+  std::int64_t faults = 0;
+  std::int64_t retried = 0;
+  for (const ChromeTraceParser::Event& event : events) {
+    const std::string ph = event.strings.at("ph");
+    if (ph == "X") {
+      ++durations;
+      EXPECT_TRUE(event.numbers.count("args.bytes"));
+    } else {
+      EXPECT_EQ(ph, "i");
+      ++instants;
+    }
+    if (event.strings.count("cat") && event.strings.at("cat") == "fault") {
+      ++faults;
+      EXPECT_EQ(event.strings.at("s"), "g");  // global scope
+      EXPECT_EQ(event.strings.at("tid"), "faults");
+    }
+    if (event.numbers.count("args.retries")) {
+      ++retried;
+      EXPECT_EQ(event.numbers.at("args.retries"), 2);
+    }
+  }
+  EXPECT_EQ(durations, 2);  // the two data transfers
+  EXPECT_EQ(instants, 3);   // sync token + two fault markers
+  EXPECT_EQ(faults, 2);
+  EXPECT_EQ(retried, 1);  // retries emitted only when > 0
+  // The escaped marker label survives the round trip.
+  EXPECT_EQ(events.back().strings.at("name"), tricky_label);
+  // Marker timestamps are microseconds.
+  EXPECT_NEAR(events.back().numbers.at("ts"), 2500.0, 1e-6);
+}
+
+TEST(TraceTest, ChromeJsonMarkerOverloadMatchesBaseWhenEmpty) {
+  const Topology topo = make_single_switch(3);
+  const mpisim::ExecutionResult result =
+      run_traced(topo, baselines::lam_alltoall(3, 8_KiB));
+  EXPECT_EQ(to_chrome_json(result.trace),
+            to_chrome_json(result.trace, {}));
+}
+
+TEST(TraceTest, ChromeJsonFullRunParses) {
+  // The end-to-end render of a real run must be valid JSON — parsed
+  // strictly, not just brace-balanced — and keep one event per message.
+  const Topology topo = make_paper_figure1();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const mpisim::ExecutionResult result = run_traced(
+      topo, lowering::lower_schedule(topo, schedule, 16_KiB));
+  const std::vector<ChromeTraceParser::Event> events =
+      ChromeTraceParser(to_chrome_json(result.trace)).parse();
+  EXPECT_EQ(events.size(), result.trace.size());
 }
 
 TEST(TraceTest, OverlapDetectorCountsConcurrentFlows) {
