@@ -170,4 +170,31 @@ VerifyReport verify_schedule_pattern(const topology::Topology& topo,
   return report;
 }
 
+void require_contention_free(const topology::Topology& topo,
+                             const Schedule& schedule) {
+  AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+  const std::int32_t machines = topo.machine_count();
+  std::vector<std::int32_t> edge_use(
+      static_cast<std::size_t>(topo.directed_edge_count()), 0);
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    std::fill(edge_use.begin(), edge_use.end(), 0);
+    for (const Message& m : schedule.phases[p]) {
+      AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
+                       m.dst < machines && m.src != m.dst,
+                   "malformed message " << m.src << "->" << m.dst
+                                        << " in phase " << p);
+      for (const topology::EdgeId e :
+           topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+        const std::int32_t use = ++edge_use[static_cast<std::size_t>(e)];
+        AAPC_REQUIRE(use <= 1,
+                     "schedule is not contention-free: phase "
+                         << p << " sends " << use << " messages over edge "
+                         << topo.name(topo.edge_source(e)) << "->"
+                         << topo.name(topo.edge_target(e))
+                         << " (corrupted or mis-repaired schedule?)");
+      }
+    }
+  }
+}
+
 }  // namespace aapc::core

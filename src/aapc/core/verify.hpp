@@ -52,4 +52,17 @@ VerifyReport verify_schedule_pattern(const topology::Topology& topo,
                                      const std::vector<Message>& expected,
                                      const VerifyOptions& options = {});
 
+/// Cheap runtime invariant for the execution pipeline: checks only
+/// condition (2) — no two messages within any phase share a directed
+/// edge — and throws InvalidArgument naming the offending phase and
+/// edge. Unlike verify_schedule it makes no coverage or optimality
+/// demands, so it also accepts partial schedules (resilience
+/// prefix/remainder legs) and deliberately non-optimal baselines.
+/// O(total path length); the lowering pipeline runs it on every
+/// schedule it lowers (LoweringOptions::verify_schedule), so a
+/// corrupted or mis-repaired schedule fails loudly at execution time
+/// instead of silently producing contended timings.
+void require_contention_free(const topology::Topology& topo,
+                             const Schedule& schedule);
+
 }  // namespace aapc::core

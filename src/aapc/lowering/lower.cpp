@@ -5,6 +5,7 @@
 
 #include "aapc/common/error.hpp"
 #include "aapc/common/strings.hpp"
+#include "aapc/core/verify.hpp"
 
 namespace aapc::lowering {
 
@@ -82,6 +83,13 @@ ProgramSet lower_with_sizes(const topology::Topology& topo,
                             LoweringInfo* info) {
 
   AAPC_REQUIRE(topo.finalized(), "topology must be finalized");
+
+  // Runtime schedule invariant (satellite of the §4 conditions): any
+  // intra-phase directed-edge sharing means the schedule the caller is
+  // about to execute is corrupted — fail now, with the edge named.
+  if (options.verify_schedule) {
+    core::require_contention_free(topo, schedule);
+  }
 
   if (options.sync == SyncMode::kBarrier) {
     return lower_barrier_mode(topo, schedule, bytes_for, options, info);

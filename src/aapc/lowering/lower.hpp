@@ -45,6 +45,11 @@ struct LoweringOptions {
   bool reduce_redundant_syncs = true;
   /// Model the rank's copy of its own AAPC block.
   bool include_self_copy = true;
+  /// Run core::require_contention_free on the schedule before lowering
+  /// (cheap — O(total path length)), so a corrupted or mis-repaired
+  /// schedule fails loudly here instead of executing with silently
+  /// contended phases. On by default in every build type.
+  bool verify_schedule = true;
 };
 
 /// Statistics accompanying a lowered program set.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "aapc/common/error.hpp"
 #include "aapc/common/log.hpp"
 #include "aapc/common/rng.hpp"
+#include "aapc/mpisim/network_backend.hpp"
 
 namespace aapc::mpisim {
 
@@ -115,6 +117,8 @@ struct FlowBinding {
   std::int64_t trace_index = -1;
   /// Watchdog reposts already performed for this transfer.
   std::int32_t attempts = 0;
+  /// Integrity-ledger entry stamped when the transfer matched.
+  DeliveryLedger::EntryId ledger_entry = -1;
 };
 
 }  // namespace
@@ -133,12 +137,24 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                "program set '" << set.name << "' has " << set.rank_count()
                                << " programs for " << ranks << " machines");
 
-  simnet::FluidNetwork network(topo_, net_params_);
-  // Scripted link faults become ordinary network events up front.
+  // The network model behind the backend seam: fluid (default,
+  // bit-identical to the pre-seam executor) or segment-level packet.
+  std::unique_ptr<NetworkBackend> backend;
+  if (exec_params_.backend == NetworkBackendKind::kPacket) {
+    backend = std::make_unique<PacketBackend>(topo_, exec_params_.packet);
+  } else {
+    backend = std::make_unique<FluidBackend>(topo_, net_params_);
+  }
+  NetworkBackend& network = *backend;
+  // Scripted link faults become ordinary network events up front (the
+  // packet backend rejects them — it models faults via packet.faults).
   for (const simnet::LinkCapacityEvent& event : exec_params_.capacity_events) {
     network.schedule_capacity_change(event.when, event.link,
                                      event.bandwidth_bytes_per_sec);
   }
+  // Exactly-once audit of every matched transfer (pure bookkeeping:
+  // never influences simulated time).
+  DeliveryLedger ledger;
   std::vector<RankCtx> ctx(static_cast<std::size_t>(ranks));
   for (Rank r = 0; r < ranks; ++r) {
     ctx[static_cast<std::size_t>(r)].requests.reserve(
@@ -206,15 +222,18 @@ ExecutionResult Executor::run(const ProgramSet& set) {
   // rendezvous and for watchdog reposts.
   auto post_flow = [&](Rank send_rank, RequestId send_req, Rank recv_rank,
                        RequestId recv_req, SimTime start,
-                       std::int64_t trace_index, std::int32_t attempts) {
+                       std::int64_t trace_index, std::int32_t attempts,
+                       DeliveryLedger::EntryId ledger_entry) {
     const Bytes bytes = ctx[static_cast<std::size_t>(send_rank)]
                             .requests[static_cast<std::size_t>(send_req)]
                             .bytes;
     const simnet::FlowId flow =
         network.add_flow(topo_.machine_node(send_rank),
                          topo_.machine_node(recv_rank), bytes, start);
-    flow_bindings.emplace(flow, FlowBinding{send_rank, send_req, recv_rank,
-                                            recv_req, trace_index, attempts});
+    flow_bindings.emplace(flow,
+                          FlowBinding{send_rank, send_req, recv_rank,
+                                      recv_req, trace_index, attempts,
+                                      ledger_entry});
     if (exec_params_.transfer_timeout > 0) {
       watchdog.emplace_back(start + exec_params_.transfer_timeout, flow);
       std::push_heap(watchdog.begin(), watchdog.end(), kWatchdogOrder);
@@ -236,8 +255,12 @@ ExecutionResult Executor::run(const ProgramSet& set) {
           send_rank, recv_rank, send.bytes, send.tag, start, 0, 0,
           send.tag >= kSyncTag});
     }
+    // Stamp the transfer with the sender's view; the delivery check
+    // recomputes the fingerprint from the receiver's view.
+    const DeliveryLedger::EntryId entry =
+        ledger.record_send(send_rank, recv_rank, send.tag, send.bytes);
     post_flow(send_rank, send_req, recv_rank, recv_req, start, trace_index,
-              0);
+              0, entry);
     result.network_bytes += static_cast<double>(send.bytes);
     ++result.message_count;
   };
@@ -504,11 +527,14 @@ ExecutionResult Executor::run(const ProgramSet& set) {
       send.complete = true;
       send.completion = drained;
       recv.complete = true;
-      recv.completion =
-          drained + net_params_.per_hop_latency * network.flow_hops(flow);
+      recv.completion = drained + network.extra_delivery_latency(flow);
       if (recv.bytes <= net_params_.small_message_threshold) {
         recv.completion += net_params_.small_message_extra_latency;
       }
+      // Delivery audit, from the *receiver's* request fields: a flow
+      // bound to the wrong request pair fingerprints differently.
+      ledger.record_delivery(binding.ledger_entry, recv.peer,
+                             binding.recv_rank, recv.tag, recv.bytes);
       if (binding.trace_index >= 0) {
         MessageTrace& record =
             result.trace[static_cast<std::size_t>(binding.trace_index)];
@@ -561,9 +587,11 @@ ExecutionResult Executor::run(const ProgramSet& set) {
             << binding.send_rank << " -> rank " << binding.recv_rank
             << " tag=" << send.tag;
       result.fault_markers.push_back(FaultMarker{network.now(), label.str()});
+      ledger.record_retry(binding.ledger_entry);
       post_flow(binding.send_rank, binding.send_request, binding.recv_rank,
                 binding.recv_request, network.now() + backoff,
-                binding.trace_index, binding.attempts + 1);
+                binding.trace_index, binding.attempts + 1,
+                binding.ledger_entry);
     }
     std::sort(wave.begin(), wave.end());
   }
@@ -582,7 +610,12 @@ ExecutionResult Executor::run(const ProgramSet& set) {
 
   result.completion_time =
       *std::max_element(result.rank_finish.begin(), result.rank_finish.end());
-  result.network_stats = network.stats();
+  network.finish(result);
+  result.integrity = ledger.report();
+  AAPC_CHECK_MSG(result.integrity.ok(), "execution of program set '"
+                                            << set.name << "' violated "
+                                            << "data integrity — "
+                                            << result.integrity.summary());
   // Params-supplied markers and watchdog markers in one time-sorted
   // timeline (stable: registration order among equal times).
   std::stable_sort(result.fault_markers.begin(), result.fault_markers.end(),

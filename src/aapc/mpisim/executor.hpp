@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "aapc/common/error.hpp"
+#include "aapc/mpisim/integrity.hpp"
 #include "aapc/mpisim/program.hpp"
+#include "aapc/packetsim/packet_network.hpp"
 #include "aapc/simnet/fluid_network.hpp"
 #include "aapc/simnet/params.hpp"
 #include "aapc/topology/topology.hpp"
@@ -92,6 +94,18 @@ struct RankFault {
   SimTime crash_time = simnet::kNever;
 };
 
+/// Packet-model counters of a run over the packet backend (`used` stays
+/// false on fluid runs).
+struct PacketNetworkSummary {
+  bool used = false;
+  std::int64_t segments_sent = 0;
+  std::int64_t segments_dropped = 0;  // queue overflow
+  std::int64_t retransmissions = 0;
+  std::int64_t segments_lost = 0;       // stochastic link loss
+  std::int64_t segments_corrupted = 0;  // checksum discards
+  std::int32_t peak_queue_occupancy = 0;
+};
+
 struct ExecutionResult {
   /// Completion time of the whole operation (max over ranks).
   SimTime completion_time = 0;
@@ -111,12 +125,28 @@ struct ExecutionResult {
   /// Timeline markers, sorted by time: ExecutorParams::fault_markers
   /// plus one marker per watchdog retry.
   std::vector<FaultMarker> fault_markers;
+  /// Exactly-once audit of every matched transfer (always populated;
+  /// integrity.ok() must hold for a correct run).
+  IntegrityReport integrity;
+  /// Packet-backend counters (ExecutorParams::backend == kPacket only).
+  PacketNetworkSummary packet;
 
   /// Aggregate throughput over the run: `payload_bytes` (caller-defined,
   /// normally |M|*(|M|-1)*msize) divided by completion time.
   double aggregate_throughput(double payload_bytes) const {
     return completion_time > 0 ? payload_bytes / completion_time : 0.0;
   }
+};
+
+/// Which network model the executor drives (see
+/// mpisim/network_backend.hpp for the semantics of each).
+enum class NetworkBackendKind : std::uint8_t {
+  /// Calibrated max-min fluid-flow model (simnet::FluidNetwork) — the
+  /// default, bit-identical to the pre-seam executor.
+  kFluid,
+  /// Segment-level packet model (packetsim::PacketNetwork) with finite
+  /// queues, transports, and stochastic loss/corruption/jitter.
+  kPacket,
 };
 
 /// Extra knobs for the executor beyond the network model.
@@ -137,6 +167,14 @@ struct ExecutorParams {
 
   /// Record a MessageTrace per matched transfer in the result.
   bool record_trace = false;
+
+  /// Network model to run over. The fluid backend consumes the
+  /// NetworkParams the executor was built with; the packet backend
+  /// consumes `packet` below (capacity_events are then rejected — the
+  /// packet model expresses faults via packet.faults instead).
+  NetworkBackendKind backend = NetworkBackendKind::kFluid;
+  /// Packet-model configuration, used when backend == kPacket.
+  packetsim::PacketNetworkParams packet;
 
   // ---- fault injection (all defaults inert: a run with none of these
   // set is bit-identical to the pre-fault executor) ----

@@ -1,0 +1,124 @@
+#include "aapc/mpisim/integrity.hpp"
+
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::mpisim {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t h) {
+  // splitmix64 finalizer: full-avalanche 64-bit mix.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+Fingerprint message_fingerprint(Rank src, Rank dst, Tag tag, Bytes bytes,
+                                std::uint64_t salt) {
+  std::uint64_t h = salt;
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ static_cast<std::uint64_t>(bytes));
+  return h;
+}
+
+DeliveryLedger::EntryId DeliveryLedger::record_send(Rank src, Rank dst,
+                                                    Tag tag, Bytes bytes) {
+  const auto id = static_cast<EntryId>(entries_.size());
+  Entry entry;
+  entry.src = src;
+  entry.dst = dst;
+  entry.tag = tag;
+  entry.bytes = bytes;
+  entry.fingerprint = message_fingerprint(src, dst, tag, bytes, salt_);
+  entries_.push_back(entry);
+  return id;
+}
+
+void DeliveryLedger::record_retry(EntryId id) {
+  AAPC_CHECK_MSG(id >= 0 && id < entry_count(),
+                 "ledger retry for unknown entry " << id);
+  ++entries_[static_cast<std::size_t>(id)].retries;
+}
+
+void DeliveryLedger::record_delivery(EntryId id, Rank src, Rank dst, Tag tag,
+                                     Bytes bytes) {
+  record_delivery_with_fingerprint(
+      id, src, dst, tag, bytes,
+      message_fingerprint(src, dst, tag, bytes, salt_));
+}
+
+void DeliveryLedger::record_delivery_with_fingerprint(
+    EntryId id, Rank src, Rank dst, Tag tag, Bytes bytes,
+    Fingerprint fingerprint) {
+  AAPC_CHECK_MSG(id >= 0 && id < entry_count(),
+                 "ledger delivery for unknown entry " << id);
+  Entry& entry = entries_[static_cast<std::size_t>(id)];
+  ++entry.deliveries;
+  if (src != entry.src || dst != entry.dst || tag != entry.tag ||
+      bytes != entry.bytes) {
+    entry.misdelivered = true;
+    return;
+  }
+  if (fingerprint != entry.fingerprint) entry.corrupted = true;
+}
+
+IntegrityReport DeliveryLedger::report() const {
+  IntegrityReport report;
+  report.expected = entry_count();
+  constexpr std::size_t kMaxViolationLines = 16;
+  auto violation = [&](const Entry& entry, EntryId id, const char* what) {
+    if (report.violations.size() >= kMaxViolationLines) return;
+    std::ostringstream os;
+    os << what << ": transfer " << id << " rank " << entry.src << " -> rank "
+       << entry.dst << " tag=" << entry.tag << " bytes=" << entry.bytes
+       << " (delivered " << entry.deliveries << "x, " << entry.retries
+       << " retries)";
+    report.violations.push_back(os.str());
+  };
+  for (EntryId id = 0; id < entry_count(); ++id) {
+    const Entry& entry = entries_[static_cast<std::size_t>(id)];
+    report.delivered += entry.deliveries;
+    report.retried += entry.retries;
+    if (entry.deliveries == 0) {
+      ++report.missing;
+      violation(entry, id, "missing");
+    } else if (entry.deliveries > 1) {
+      ++report.duplicated;
+      violation(entry, id, "duplicated");
+    }
+    if (entry.misdelivered) {
+      ++report.misdelivered;
+      violation(entry, id, "misdelivered");
+    }
+    if (entry.corrupted) {
+      ++report.corrupted;
+      violation(entry, id, "corrupted");
+    }
+  }
+  return report;
+}
+
+std::string IntegrityReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "ok: " << expected << " transfer(s) delivered exactly once";
+    if (retried > 0) os << " (" << retried << " watchdog retries)";
+    return os.str();
+  }
+  os << "INTEGRITY VIOLATION: " << expected << " expected, " << delivered
+     << " deliveries; missing=" << missing << " duplicated=" << duplicated
+     << " corrupted=" << corrupted << " misdelivered=" << misdelivered;
+  for (const std::string& line : violations) os << "\n  " << line;
+  return os.str();
+}
+
+}  // namespace aapc::mpisim

@@ -1,0 +1,117 @@
+// End-to-end data-integrity ledger for executed transfers.
+//
+// A real MPI_Alltoall over lossy Ethernet must deliver every (src, dst)
+// block exactly once, bit-intact, to the right receiver — and a buggy
+// retry path (PR 2's watchdog reposts, schedule repair) could silently
+// violate that without perturbing any timing. The ledger makes the
+// property checkable: every matched transfer is stamped at send time
+// with a deterministic payload fingerprint derived from (src, dst, tag,
+// bytes, salt); at delivery the fingerprint is *recomputed from the
+// receiver's own view of the transfer* and compared, so a transfer that
+// was duplicated, lost, corrupted, or bound to the wrong endpoints is
+// flagged — even if the simulation's timings look perfectly healthy.
+//
+// The ledger is pure bookkeeping: it never influences simulated time,
+// so running it always-on costs nothing in fidelity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aapc/common/units.hpp"
+#include "aapc/mpisim/program.hpp"
+
+namespace aapc::mpisim {
+
+/// Deterministic stand-in for a checksum over the transfer's payload.
+/// In a real implementation this would hash the buffer; in simulation
+/// the payload is fully determined by who sends what to whom, so the
+/// fingerprint binds (src, dst, tag, bytes) under a salt.
+using Fingerprint = std::uint64_t;
+
+Fingerprint message_fingerprint(Rank src, Rank dst, Tag tag, Bytes bytes,
+                                std::uint64_t salt);
+
+/// Verdict of a ledger audit. `ok()` means every recorded transfer was
+/// delivered exactly once with a matching fingerprint to its intended
+/// receiver.
+struct IntegrityReport {
+  std::int64_t expected = 0;   // transfers recorded at send time
+  std::int64_t delivered = 0;  // delivery records observed
+  std::int64_t retried = 0;    // watchdog reposts (not violations)
+  std::int64_t missing = 0;     // never delivered
+  std::int64_t duplicated = 0;  // delivered more than once
+  std::int64_t corrupted = 0;   // fingerprint mismatch, right endpoints
+  std::int64_t misdelivered = 0;  // delivered to/from the wrong endpoints
+  /// Human-readable description of each violation (capped; see
+  /// `summary()`).
+  std::vector<std::string> violations;
+
+  bool ok() const {
+    return missing == 0 && duplicated == 0 && corrupted == 0 &&
+           misdelivered == 0;
+  }
+  /// One-line verdict ("ok: 42 transfers delivered exactly once" or the
+  /// violation counts plus the first few violation lines).
+  std::string summary() const;
+};
+
+/// Exactly-once delivery ledger. The executor records a send for every
+/// matched transfer (keeping the returned EntryId in its flow binding),
+/// a retry for every watchdog repost, and a delivery when the flow
+/// drains; report() audits the whole run.
+class DeliveryLedger {
+ public:
+  using EntryId = std::int64_t;
+
+  explicit DeliveryLedger(std::uint64_t salt = 0x1ED6E5A17ull)
+      : salt_(salt) {}
+
+  /// Stamps a transfer at send time; the fingerprint binds the sender's
+  /// view of (src, dst, tag, bytes).
+  EntryId record_send(Rank src, Rank dst, Tag tag, Bytes bytes);
+
+  /// A watchdog repost of the same logical transfer (not a violation —
+  /// but audited: the retry must still deliver exactly once).
+  void record_retry(EntryId id);
+
+  /// Records a delivery observed by the receiver, described by the
+  /// *receiver's* view of the transfer. The fingerprint is recomputed
+  /// from these fields and compared against the stamp, catching
+  /// corrupted payloads and transfers bound to the wrong request pair.
+  void record_delivery(EntryId id, Rank src, Rank dst, Tag tag, Bytes bytes);
+
+  /// Test seam: records a delivery with an explicit fingerprint instead
+  /// of recomputing it (injects corruption), or a repeated delivery
+  /// (injects duplication).
+  void record_delivery_with_fingerprint(EntryId id, Rank src, Rank dst,
+                                        Tag tag, Bytes bytes,
+                                        Fingerprint fingerprint);
+
+  std::int64_t entry_count() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+
+  /// Audits the ledger: every entry must have exactly one delivery with
+  /// a matching fingerprint and matching endpoints.
+  IntegrityReport report() const;
+
+ private:
+  struct Entry {
+    Rank src = -1;
+    Rank dst = -1;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    Fingerprint fingerprint = 0;
+    std::int32_t deliveries = 0;
+    std::int32_t retries = 0;
+    bool corrupted = false;
+    bool misdelivered = false;
+  };
+
+  std::uint64_t salt_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aapc::mpisim

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "aapc/common/error.hpp"
 #include "aapc/common/rng.hpp"
 #include "aapc/core/schedule_io.hpp"
+#include "aapc/faults/fault_plan.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
 #include "aapc/simnet/fluid_network.hpp"
@@ -82,6 +85,86 @@ TEST_P(ParserFuzzTest, MutatedValidScheduleJson) {
         (void)core::verify_schedule(topo, schedule, lax);
       }
     } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, FaultPlanJsonParserNeverCrashes) {
+  Rng rng(GetParam() * 8191 + 4);
+  for (int round = 0; round < 50; ++round) {
+    const std::string text =
+        random_text(rng, static_cast<std::size_t>(rng.next_in(0, 180)));
+    try {
+      const faults::FaultPlan plan = faults::fault_plan_from_json(text);
+      // Noise that parses must still survive validation or reject with
+      // a typed error — and a validated plan must compile.
+      plan.validate();
+      (void)faults::compile(plan, simnet::NetworkParams{}, 64);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidFaultPlanJson) {
+  // Mutate a well-formed plan byte-by-byte: every outcome must be a
+  // typed rejection or a plan that round-trips without crashing.
+  Rng rng(GetParam() * 524287 + 6);
+  faults::FaultPlan plan;
+  plan.add(faults::FaultEvent::link_degrade(0.12, 3, 0.5))
+      .add(faults::FaultEvent::link_down(0.01, 0))
+      .add(faults::FaultEvent::link_up(0.05, 0))
+      .add(faults::FaultEvent::node_slowdown(0.0, 2, 3.0))
+      .add(faults::FaultEvent::node_crash(0.08, 1));
+  const std::string valid = faults::fault_plan_to_json(plan);
+  for (int round = 0; round < 60; ++round) {
+    std::string mutated = valid;
+    const int flips = static_cast<int>(rng.next_in(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.next_below(mutated.size())] =
+          static_cast<char>(rng.next_in(32, 126));
+    }
+    try {
+      const faults::FaultPlan parsed = faults::fault_plan_from_json(mutated);
+      parsed.validate();
+      (void)faults::fault_plan_to_json(parsed);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, TruncatedInputsRejectCleanly) {
+  // Every byte-length prefix of valid inputs: the classic
+  // cut-off-mid-token parser crash. All three text formats.
+  Rng rng(GetParam() * 127 + 7);
+  const topology::Topology topo = topology::make_single_switch(4);
+  faults::FaultPlan plan;
+  plan.add(faults::FaultEvent::link_down(0.01, 0))
+      .add(faults::FaultEvent::node_crash(0.08, 1));
+  const std::vector<std::pair<std::string, int>> inputs = {
+      {topology::serialize_topology(topo), 0},
+      {core::schedule_to_json(core::build_aapc_schedule(topo),
+                              topo.machine_count()),
+       1},
+      {faults::fault_plan_to_json(plan), 2},
+  };
+  for (const auto& [text, which] : inputs) {
+    for (int round = 0; round < 40; ++round) {
+      const std::size_t cut = rng.next_below(text.size());
+      const std::string truncated = text.substr(0, cut);
+      try {
+        switch (which) {
+          case 0:
+            (void)topology::parse_topology(truncated);
+            break;
+          case 1:
+            (void)core::schedule_from_json(truncated);
+            break;
+          default:
+            (void)faults::fault_plan_from_json(truncated);
+            break;
+        }
+      } catch (const Error&) {
+      }
     }
   }
 }

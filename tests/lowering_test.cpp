@@ -2,6 +2,8 @@
 // three sync modes, and end-to-end execution on the simulator.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "aapc/common/error.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/lowering/lower.hpp"
@@ -158,6 +160,32 @@ TEST(LoweringTest, InvalidInputsRejected) {
   const Topology topo = make_single_switch(3);
   const core::Schedule schedule = core::build_aapc_schedule(topo);
   EXPECT_THROW(lower_schedule(topo, schedule, 0), aapc::InvalidArgument);
+}
+
+TEST(LoweringTest, CorruptedScheduleFailsContentionCheck) {
+  // Duplicate one message into a foreign phase: both copies now claim
+  // the same directed links in that phase, so the always-on runtime
+  // invariant must reject the schedule before any program is emitted.
+  const Topology topo = make_paper_figure1();
+  core::Schedule schedule = core::build_aapc_schedule(topo);
+  ASSERT_GE(schedule.phase_count(), 2);
+  const std::int32_t last = schedule.phase_count() - 1;
+  const core::Message stray = schedule.phases[last][0];
+  schedule.phases[last].push_back(stray);
+  schedule.messages.push_back({stray, last, core::MessageScope::kGlobal});
+  try {
+    lower_schedule(topo, schedule, 8_KiB);
+    FAIL() << "expected InvalidArgument for a contended phase";
+  } catch (const aapc::InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("not contention-free"), std::string::npos) << what;
+    EXPECT_NE(what.find("phase"), std::string::npos) << what;
+  }
+  // The escape hatch: opting out of verification lowers it anyway (for
+  // ablations that intentionally build contended schedules).
+  LoweringOptions lax;
+  lax.verify_schedule = false;
+  EXPECT_NO_THROW(lower_schedule(topo, schedule, 8_KiB, lax));
 }
 
 }  // namespace

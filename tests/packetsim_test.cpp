@@ -188,5 +188,347 @@ TEST(PacketSimTest, MalformedMessagesRejected) {
       InvalidArgument);
 }
 
+// ---- zero-fault contract ----
+
+// Golden outputs captured from the pre-fault simulator (17 significant
+// digits). The all-rates-zero fault config must perform no RNG draw, so
+// every double here must match BIT FOR BIT — EXPECT_EQ on doubles is
+// deliberate. If this test fails, the fault machinery leaked into the
+// fault-free event stream.
+TEST(PacketSimGoldenTest, ZeroFaultConfigIsBitIdenticalIncast) {
+  const Topology topo = make_single_switch(9);
+  const PacketNetworkParams params;  // defaults: all fault rates zero
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  const PacketResult result = simulate_packets(topo, messages, params);
+  EXPECT_EQ(result.makespan, 0.3893422400000025);
+  EXPECT_EQ(result.segments_sent, 1441);
+  EXPECT_EQ(result.segments_dropped, 345);
+  EXPECT_EQ(result.retransmissions, 345);
+  EXPECT_EQ(result.segments_lost, 0);
+  EXPECT_EQ(result.segments_corrupted, 0);
+  EXPECT_EQ(result.goodput_bytes_per_sec, 4109495.0293602608);
+  const std::vector<SimTime> golden = {
+      0.02338760000000005,  0.38909616000000247, 0.33653912000000064,
+      0.38577408000000196,  0.3893422400000025,  0.26451584000000206,
+      0.38109856000000125,  0.34908920000000254};
+  ASSERT_EQ(result.completion.size(), golden.size());
+  for (std::size_t m = 0; m < golden.size(); ++m) {
+    EXPECT_EQ(result.completion[m], golden[m]) << "message " << m;
+  }
+}
+
+TEST(PacketSimGoldenTest, ZeroFaultConfigIsBitIdenticalAimdTrunk) {
+  const Topology topo = make_chain({4, 4});
+  PacketNetworkParams params;
+  params.transport = PacketNetworkParams::Transport::kAimd;
+  std::vector<PacketMessage> messages;
+  for (topology::Rank s = 0; s < 4; ++s) {
+    messages.push_back(PacketMessage{s, static_cast<topology::Rank>(4 + s),
+                                     300'000, 1e-4 * s});
+  }
+  const PacketResult result = simulate_packets(topo, messages, params);
+  EXPECT_EQ(result.makespan, 0.10459900000000125);
+  EXPECT_EQ(result.segments_sent, 860);
+  EXPECT_EQ(result.segments_dropped, 12);
+  EXPECT_EQ(result.retransmissions, 36);
+  EXPECT_EQ(result.goodput_bytes_per_sec, 11472385.013240907);
+  EXPECT_EQ(result.completion[3], 0.10459900000000125);
+}
+
+TEST(PacketSimGoldenTest, ZeroFaultConfigIsBitIdenticalSingleFlow) {
+  const Topology topo = make_single_switch(2);
+  const PacketResult result = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, PacketNetworkParams{});
+  EXPECT_EQ(result.makespan, 0.084415440000000452);
+  EXPECT_EQ(result.segments_sent, 685);
+  EXPECT_EQ(result.segments_dropped, 0);
+  EXPECT_EQ(result.goodput_bytes_per_sec, 11846174.112223957);
+}
+
+// An inert Gilbert-Elliott chain (transition probability zero) must not
+// draw either, even with burst loss rates configured.
+TEST(PacketSimGoldenTest, InertGilbertElliottChainDrawsNothing) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams faulty;
+  faulty.faults.ge_p_good_to_bad = 0.0;  // chain never leaves good
+  faulty.faults.ge_loss_rate = 0.9;
+  const PacketResult clean = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, PacketNetworkParams{});
+  const PacketResult inert = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, faulty);
+  EXPECT_EQ(clean.makespan, inert.makespan);
+  EXPECT_EQ(clean.segments_sent, inert.segments_sent);
+  EXPECT_FALSE(faulty.faults.active());
+}
+
+// ---- stochastic faults ----
+
+TEST(PacketSimFaultTest, SameSeedIsBitIdentical) {
+  const Topology topo = make_single_switch(9);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.01;
+  params.faults.jitter_max = microseconds(20.0);
+  params.faults.corruption_rate = 0.002;
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  const PacketResult a = simulate_packets(topo, messages, params);
+  const PacketResult b = simulate_packets(topo, messages, params);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.segments_sent, b.segments_sent);
+  EXPECT_EQ(a.segments_lost, b.segments_lost);
+  EXPECT_EQ(a.segments_corrupted, b.segments_corrupted);
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.message_retransmissions, b.message_retransmissions);
+  EXPECT_GT(a.segments_lost, 0);
+}
+
+TEST(PacketSimFaultTest, DifferentSeedDiffers) {
+  const Topology topo = make_single_switch(9);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.02;
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  PacketNetworkParams other = params;
+  other.faults.seed = params.faults.seed + 1;
+  const PacketResult a = simulate_packets(topo, messages, params);
+  const PacketResult b = simulate_packets(topo, messages, other);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(PacketSimFaultTest, BernoulliLossIsRecovered) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.05;
+  const PacketResult result = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, params);
+  EXPECT_GT(result.segments_lost, 0);
+  EXPECT_GE(result.retransmissions, result.segments_lost);
+  EXPECT_GT(result.completion[0], 0);  // completed despite the losses
+  const PacketResult clean = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, PacketNetworkParams{});
+  EXPECT_GT(result.makespan, clean.makespan);
+}
+
+TEST(PacketSimFaultTest, EdgeLossOverrideConcentratesLoss) {
+  // Loss only on the n0 -> switch uplink: the reverse transfer rides
+  // clean links and must see zero retransmissions.
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.0;
+  const auto uplink = topo.path(topo.machine_node(0),
+                                topo.machine_node(1)).front();
+  params.faults.edge_loss.emplace_back(uplink, 0.05);
+  const PacketResult result = simulate_packets(
+      topo,
+      {PacketMessage{0, 1, 500'000, 0}, PacketMessage{1, 0, 500'000, 0}},
+      params);
+  EXPECT_TRUE(params.faults.active());
+  EXPECT_GT(result.message_retransmissions[0], 0);
+  EXPECT_EQ(result.message_retransmissions[1], 0);
+}
+
+TEST(PacketSimFaultTest, GilbertElliottBurstsLoseAndRecover) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.ge_p_good_to_bad = 0.01;
+  params.faults.ge_p_bad_to_good = 0.2;
+  params.faults.ge_loss_rate = 0.5;  // heavy loss while bursting
+  const PacketResult result = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, params);
+  EXPECT_GT(result.segments_lost, 0);
+  EXPECT_GT(result.completion[0], 0);
+}
+
+TEST(PacketSimFaultTest, CorruptionCountedSeparatelyFromLossAndDrops) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.corruption_rate = 0.03;
+  const PacketResult result = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, params);
+  EXPECT_GT(result.segments_corrupted, 0);
+  EXPECT_EQ(result.segments_lost, 0);
+  EXPECT_EQ(result.segments_dropped, 0);
+  EXPECT_GE(result.retransmissions, result.segments_corrupted);
+  EXPECT_GT(result.completion[0], 0);
+}
+
+TEST(PacketSimFaultTest, JitterDelaysButDelivers) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.jitter_max = microseconds(50.0);
+  const PacketResult jittered = simulate_packets(
+      topo, {PacketMessage{0, 1, 500'000, 0}}, params);
+  const PacketResult clean = simulate_packets(
+      topo, {PacketMessage{0, 1, 500'000, 0}}, PacketNetworkParams{});
+  EXPECT_GT(jittered.completion[0], 0);
+  EXPECT_NE(jittered.makespan, clean.makespan);
+}
+
+TEST(PacketSimFaultTest, SelectiveRepeatDegradesMoreGracefully) {
+  // The acceptance comparison in miniature: 1% Bernoulli loss on one
+  // large flow. Fixed window stalls behind every hole until the 40 ms
+  // RTO; selective repeat keeps the pipe full and fast-retransmits.
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams fixed;
+  fixed.faults.loss_rate = 0.01;
+  PacketNetworkParams sack = fixed;
+  sack.transport = PacketNetworkParams::Transport::kSelectiveRepeat;
+  const PacketResult fixed_result = simulate_packets(
+      topo, {PacketMessage{0, 1, 2'000'000, 0}}, fixed);
+  const PacketResult sack_result = simulate_packets(
+      topo, {PacketMessage{0, 1, 2'000'000, 0}}, sack);
+  EXPECT_LT(sack_result.makespan, 0.5 * fixed_result.makespan);
+}
+
+TEST(PacketSimFaultTest, SelectiveRepeatCleanMatchesFixedWindow) {
+  // With no losses the SACK window never has a hole, so the transport
+  // behaves exactly like a fixed window of the same size.
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams sack;
+  sack.transport = PacketNetworkParams::Transport::kSelectiveRepeat;
+  const PacketResult a = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, PacketNetworkParams{});
+  const PacketResult b = simulate_packets(
+      topo, {PacketMessage{0, 1, 1'000'000, 0}}, sack);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.segments_sent, b.segments_sent);
+}
+
+TEST(PacketSimFaultTest, InvalidFaultRatesRejected) {
+  const Topology topo = make_single_switch(2);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 1.0;  // must be < 1
+  EXPECT_THROW(simulate_packets(topo, {PacketMessage{0, 1, 100, 0}}, params),
+               InvalidArgument);
+  params.faults.loss_rate = 0.0;
+  params.faults.edge_loss.emplace_back(999, 0.5);  // nonexistent edge
+  EXPECT_THROW(simulate_packets(topo, {PacketMessage{0, 1, 100, 0}}, params),
+               InvalidArgument);
+}
+
+// ---- per-message counters, livelock diagnostic, incremental API ----
+
+TEST(PacketSimResultTest, PerMessageRetransmissionsSumToTotal) {
+  const Topology topo = make_single_switch(9);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.01;
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  const PacketResult result = simulate_packets(topo, messages, params);
+  std::int64_t sum = 0;
+  for (const std::int32_t r : result.message_retransmissions) sum += r;
+  EXPECT_EQ(sum, result.retransmissions);
+  EXPECT_GT(result.retransmissions, 0);
+}
+
+TEST(PacketSimResultTest, PeakQueueTracksCongestedPort) {
+  const Topology topo = make_single_switch(9);
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  const PacketResult result =
+      simulate_packets(topo, messages, PacketNetworkParams{});
+  ASSERT_EQ(result.peak_queue_segments.size(),
+            static_cast<std::size_t>(topo.directed_edge_count()));
+  std::int32_t max_peak = 0;
+  for (const std::int32_t p : result.peak_queue_segments) {
+    max_peak = std::max(max_peak, p);
+  }
+  EXPECT_EQ(result.peak_queue_occupancy, max_peak);
+  // The incast port (switch -> receiver) hits the drop-tail cap.
+  const PacketNetworkParams params;
+  EXPECT_EQ(result.peak_queue_occupancy, params.queue_capacity_segments);
+}
+
+TEST(PacketSimResultTest, EventCapDiagnosticNamesStuckMessages) {
+  const Topology topo = make_single_switch(9);
+  PacketNetworkParams params;
+  params.max_events = 200;  // far too few for 8 x 137 segments
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  try {
+    simulate_packets(topo, messages, params);
+    FAIL() << "expected the event-cap diagnostic";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("event cap"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+    EXPECT_NE(what.find("outstanding"), std::string::npos) << what;
+  }
+}
+
+TEST(PacketNetworkTest, IncrementalMatchesBatch) {
+  const Topology topo = make_single_switch(9);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.005;
+  std::vector<PacketMessage> messages;
+  for (topology::Rank src = 1; src <= 8; ++src) {
+    messages.push_back(PacketMessage{src, 0, 200'000, 0});
+  }
+  const PacketResult batch = simulate_packets(topo, messages, params);
+
+  PacketNetwork network(topo, params);
+  for (const PacketMessage& m : messages) {
+    network.add_message(m.src, m.dst, m.bytes, m.start);
+  }
+  // Drive via the executor-style event loop instead of one big run.
+  std::vector<PacketNetwork::MessageId> completed;
+  while (network.next_event_time() != PacketNetwork::kNoEvent) {
+    network.advance_to(network.next_event_time(), completed);
+  }
+  EXPECT_EQ(completed.size(), messages.size());
+  const PacketResult incremental = network.result();
+  EXPECT_EQ(batch.makespan, incremental.makespan);
+  EXPECT_EQ(batch.segments_sent, incremental.segments_sent);
+  EXPECT_EQ(batch.completion, incremental.completion);
+}
+
+TEST(PacketNetworkTest, MessagesCanJoinARunningSimulation) {
+  const Topology topo = make_single_switch(3);
+  PacketNetwork network(topo, PacketNetworkParams{});
+  const auto first = network.add_message(0, 2, 100'000, 0);
+  std::vector<PacketNetwork::MessageId> completed;
+  network.advance_to(0.01, completed);
+  const auto second = network.add_message(1, 2, 100'000, network.now());
+  while (network.next_event_time() != PacketNetwork::kNoEvent) {
+    network.advance_to(network.next_event_time(), completed);
+  }
+  EXPECT_TRUE(network.message_complete(first));
+  EXPECT_TRUE(network.message_complete(second));
+  EXPECT_EQ(network.completed_count(), 2);
+}
+
+TEST(PacketNetworkTest, CancelStopsRetransmissionAndCompletion) {
+  const Topology topo = make_single_switch(3);
+  PacketNetworkParams params;
+  params.faults.loss_rate = 0.01;
+  PacketNetwork network(topo, params);
+  const auto keep = network.add_message(0, 2, 200'000, 0);
+  const auto drop = network.add_message(1, 2, 200'000, 0);
+  std::vector<PacketNetwork::MessageId> completed;
+  network.advance_to(0.005, completed);
+  EXPECT_TRUE(network.cancel_message(drop));
+  EXPECT_FALSE(network.cancel_message(drop));  // already canceled
+  while (network.next_event_time() != PacketNetwork::kNoEvent) {
+    network.advance_to(network.next_event_time(), completed);
+  }
+  EXPECT_TRUE(network.message_complete(keep));
+  EXPECT_FALSE(network.message_complete(drop));
+  EXPECT_EQ(network.completed_count(), 1);
+  EXPECT_EQ(network.message_remaining_bytes(drop), 0);  // canceled
+}
+
 }  // namespace
 }  // namespace aapc::packetsim
