@@ -11,12 +11,24 @@
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
 #include "aapc/lowering/lower.hpp"
+#include "aapc/service/service.hpp"
 #include "aapc/sync/sync_plan.hpp"
 #include "aapc/topology/generators.hpp"
 
 namespace {
 
 using aapc::topology::Topology;
+
+Topology paper_cluster(std::int64_t which) {
+  switch (which) {
+    case 0:
+      return aapc::topology::make_paper_topology_a();
+    case 1:
+      return aapc::topology::make_paper_topology_b();
+    default:
+      return aapc::topology::make_paper_topology_c();
+  }
+}
 
 Topology shaped_topology(std::int64_t machines, std::int64_t shape) {
   switch (shape) {
@@ -83,6 +95,38 @@ void BM_CodegenC(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodegenC)->Arg(16)->Arg(32);
+
+// Cold compile through the schedule-compilation service: every
+// iteration starts from an empty cache, so this is the full pipeline
+// (canonicalize + schedule + verify + sync plan + lowering) plus the
+// permutation rewrite. Arg: 0 = paper cluster a, 1 = b, 2 = c.
+void BM_ServiceColdCompile(benchmark::State& state) {
+  const Topology topo = paper_cluster(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    aapc::service::ScheduleService service;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(service.compile(topo, 65536));
+  }
+  state.SetLabel(std::to_string(topo.machine_count()) + " machines");
+}
+BENCHMARK(BM_ServiceColdCompile)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// Cache hit on the same clusters: canonicalize + rewrite only. The gap
+// to BM_ServiceColdCompile is what the cache amortizes (recorded in
+// EXPERIMENTS.md E10).
+void BM_ServiceCacheHit(benchmark::State& state) {
+  const Topology topo = paper_cluster(state.range(0));
+  aapc::service::ScheduleService service;
+  service.compile(topo, 65536);  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.compile(topo, 65536));
+  }
+  state.SetLabel(std::to_string(topo.machine_count()) + " machines");
+}
+BENCHMARK(BM_ServiceCacheHit)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Decompose(benchmark::State& state) {
   const Topology topo = shaped_topology(state.range(0), 1);

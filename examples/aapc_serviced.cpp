@@ -1,0 +1,189 @@
+// Schedule-compilation service driver: replays a synthetic multi-tenant
+// workload against service::ScheduleService and prints the metrics
+// snapshot.
+//
+// Tenants request AAPC routines for a pool of clusters whose popularity
+// follows a zipfian distribution (a few hot clusters, a long tail), and
+// each request arrives under a fresh rank labeling of its cluster — the
+// situation the canonicalized cache is built for: relabeled isomorphic
+// topologies must coalesce onto one cached artifact.
+//
+// Run:  ./aapc_serviced --requests 200 --threads 8
+//       ./aapc_serviced --requests 500 --threads 16 --cache-capacity 4
+//       ./aapc_serviced --requests 200 --threads 8 --min-hit-rate 0.5
+//
+// --min-hit-rate makes the exit status assert the cache worked (used by
+// the CI smoke test).
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "aapc/common/cli.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/service/service.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace {
+
+using aapc::Rng;
+using aapc::topology::NodeId;
+using aapc::topology::Topology;
+
+/// The same physical cluster under a fresh rank/switch labeling.
+Topology shuffled_copy(const Topology& topo, Rng& rng) {
+  const std::int32_t n = topo.node_count();
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  Topology out;
+  std::vector<NodeId> new_id(static_cast<std::size_t>(n));
+  for (const NodeId old : order) {
+    new_id[static_cast<std::size_t>(old)] =
+        topo.is_machine(old) ? out.add_machine() : out.add_switch();
+  }
+  for (aapc::topology::LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto [a, b] = topo.link_endpoints(l);
+    out.add_link(new_id[static_cast<std::size_t>(a)],
+                 new_id[static_cast<std::size_t>(b)]);
+  }
+  out.finalize();
+  return out;
+}
+
+/// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aapc;
+  CliParser cli(
+      "aapc_serviced: replay a zipfian multi-tenant workload against the\n"
+      "schedule-compilation service and report cache/coalescing metrics.");
+  cli.add_flag("requests", "total requests to issue", "200");
+  cli.add_flag("threads", "concurrent tenant threads", "8");
+  cli.add_flag("topologies", "distinct clusters in the tenant pool", "8");
+  cli.add_flag("zipf", "zipf exponent for cluster popularity", "1.1");
+  cli.add_flag("cache-capacity", "schedule-cache entries", "256");
+  cli.add_flag("compiler-threads", "compiler pool workers", "4");
+  cli.add_flag("queue-capacity", "compiler pool queue bound", "64");
+  cli.add_flag("seed", "workload rng seed", "1");
+  cli.add_flag("min-hit-rate",
+               "exit nonzero unless cache hit rate reaches this", "-1");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  const std::int64_t requests =
+      static_cast<std::int64_t>(cli.get_u64("requests", 200));
+  const std::int64_t threads =
+      static_cast<std::int64_t>(cli.get_u64("threads", 8));
+  const std::size_t pool_size = cli.get_u64("topologies", 8);
+  const double zipf_s = cli.get_double("zipf", 1.1);
+  const std::uint64_t seed = cli.get_u64("seed", 1);
+  const double min_hit_rate = cli.get_double("min-hit-rate", -1);
+
+  service::ServiceOptions options;
+  options.cache_capacity = cli.get_u64("cache-capacity", 256);
+  options.compiler_threads =
+      static_cast<std::int32_t>(cli.get_u64("compiler-threads", 4));
+  options.queue_capacity =
+      static_cast<std::int32_t>(cli.get_u64("queue-capacity", 64));
+
+  // Tenant pool: the paper's three evaluation clusters plus random
+  // machine-room trees, hottest first.
+  std::vector<Topology> pool;
+  pool.push_back(topology::make_paper_topology_c());
+  pool.push_back(topology::make_paper_topology_b());
+  pool.push_back(topology::make_paper_figure1());
+  Rng pool_rng(seed * 7919 + 11);
+  while (pool.size() < pool_size) {
+    topology::RandomTreeOptions tree;
+    tree.switches = static_cast<std::int32_t>(pool_rng.next_in(1, 6));
+    tree.machines = static_cast<std::int32_t>(pool_rng.next_in(4, 24));
+    pool.push_back(topology::make_random_tree(pool_rng, tree));
+  }
+  const ZipfSampler zipf(pool.size(), zipf_s);
+  const Bytes sizes[] = {8_KiB, 64_KiB, 256_KiB};
+
+  service::ScheduleService service(options);
+  std::atomic<std::int64_t> issued{0};
+  std::atomic<std::int64_t> served{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> compile_errors{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(static_cast<std::size_t>(threads));
+  for (std::int64_t t = 0; t < threads; ++t) {
+    tenants.emplace_back([&, t] {
+      Rng rng(seed * 104729 + static_cast<std::uint64_t>(t));
+      for (;;) {
+        if (issued.fetch_add(1) >= requests) break;
+        const Topology& base = pool[zipf.sample(rng)];
+        // Every tenant sees its cluster under its own labeling.
+        const Topology topo = shuffled_copy(base, rng);
+        const Bytes msize =
+            sizes[rng.next_below(sizeof(sizes) / sizeof(sizes[0]))];
+        for (;;) {
+          try {
+            service.compile(topo, msize);
+            served.fetch_add(1);
+            break;
+          } catch (const service::ServiceOverloaded&) {
+            retries.fetch_add(1);
+            std::this_thread::yield();
+          } catch (const std::exception& e) {
+            compile_errors.fetch_add(1);
+            std::cerr << "compile failed: " << e.what() << "\n";
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+
+  const service::MetricsSnapshot metrics = service.metrics();
+  std::cout << "workload: " << requests << " requests, " << threads
+            << " tenant threads, " << pool.size() << " clusters (zipf "
+            << zipf_s << "), retries after overload: " << retries.load()
+            << "\n\n"
+            << metrics.to_string() << "\n";
+
+  if (compile_errors.load() > 0 || served.load() != requests) {
+    std::cerr << "FAIL: " << compile_errors.load() << " compile errors, "
+              << served.load() << "/" << requests << " served\n";
+    return 1;
+  }
+  if (min_hit_rate >= 0 && metrics.hit_rate() < min_hit_rate) {
+    std::cerr << "FAIL: cache hit rate " << metrics.hit_rate()
+              << " below required " << min_hit_rate << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,22 @@
 #include "aapc/common/log.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace aapc {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Serializes emission and sink swaps. A plain function-local static
+// mutex (no std::function, no destructor ordering hazards).
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink g_sink = nullptr;  // guarded by emit_mutex()
+void* g_sink_user = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -38,6 +49,12 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink, void* user) {
+  const std::lock_guard<std::mutex> lock(emit_mutex());
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const char* file, int line,
@@ -47,8 +64,21 @@ void log_emit(LogLevel level, const char* file, int line,
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[aapc %-5s %s:%d] %s\n", level_name(level), base, line,
-               message.c_str());
+  // Format the complete line before taking the lock, then write it in
+  // one call so concurrent loggers cannot interleave fragments.
+  std::ostringstream os;
+  os << "[aapc ";
+  os << level_name(level);
+  for (std::size_t pad = std::string(level_name(level)).size(); pad < 5; ++pad)
+    os << ' ';
+  os << ' ' << base << ':' << line << "] " << message << '\n';
+  const std::string full = os.str();
+  const std::lock_guard<std::mutex> lock(emit_mutex());
+  if (g_sink != nullptr) {
+    g_sink(full, g_sink_user);
+  } else {
+    std::fwrite(full.data(), 1, full.size(), stderr);
+  }
 }
 
 }  // namespace detail

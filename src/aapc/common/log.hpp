@@ -5,6 +5,11 @@
 // logs unconditionally. The level is a process-global atomic so tests and
 // examples can turn tracing on without threading a logger object through
 // every API.
+//
+// Emission is thread-safe: each message is formatted into one complete
+// line off-lock, then written under a process-global mutex in a single
+// call, so concurrent loggers (the service compiler pool) never
+// interleave partial lines.
 #pragma once
 
 #include <atomic>
@@ -28,6 +33,15 @@ LogLevel log_level();
 
 /// True when a message at `level` would be emitted.
 bool log_enabled(LogLevel level);
+
+/// Receives one fully formatted, newline-terminated log line. Called
+/// under the logger's emission mutex (serialized; keep it cheap).
+using LogSink = void (*)(const std::string& line, void* user);
+
+/// Redirects emission to `sink` (tests capturing output, embedders
+/// forwarding into their own logging). Passing nullptr restores the
+/// default stderr sink. Thread-safe.
+void set_log_sink(LogSink sink, void* user);
 
 namespace detail {
 void log_emit(LogLevel level, const char* file, int line,

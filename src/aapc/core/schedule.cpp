@@ -1,6 +1,9 @@
 #include "aapc/core/schedule.hpp"
 
 #include <sstream>
+#include <vector>
+
+#include "aapc/common/error.hpp"
 
 namespace aapc::core {
 
@@ -15,6 +18,51 @@ std::string Schedule::to_string(const topology::Topology& topo) const {
     os << '\n';
   }
   return os.str();
+}
+
+std::vector<Rank> invert_permutation(const std::vector<Rank>& perm) {
+  const auto n = static_cast<Rank>(perm.size());
+  std::vector<Rank> inverse(perm.size(), -1);
+  for (Rank i = 0; i < n; ++i) {
+    const Rank image = perm[static_cast<std::size_t>(i)];
+    AAPC_REQUIRE(image >= 0 && image < n,
+                 "permutation entry " << image << " out of range [0," << n
+                                      << ")");
+    AAPC_REQUIRE(inverse[static_cast<std::size_t>(image)] == -1,
+                 "permutation maps two ranks to " << image);
+    inverse[static_cast<std::size_t>(image)] = i;
+  }
+  return inverse;
+}
+
+Schedule relabel_schedule(const Schedule& schedule,
+                          const std::vector<Rank>& perm) {
+  // Validate once up front (also proves perm is a bijection).
+  invert_permutation(perm);
+  const auto n = static_cast<Rank>(perm.size());
+  auto map_rank = [&](Rank r) -> Rank {
+    AAPC_REQUIRE(r >= 0 && r < n,
+                 "schedule rank " << r << " not covered by the "
+                                  << "relabeling permutation (size " << n
+                                  << ")");
+    return perm[static_cast<std::size_t>(r)];
+  };
+  Schedule out;
+  out.phases.resize(schedule.phases.size());
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    out.phases[p].reserve(schedule.phases[p].size());
+    for (const Message& m : schedule.phases[p]) {
+      out.phases[p].push_back(Message{map_rank(m.src), map_rank(m.dst)});
+    }
+  }
+  out.messages.reserve(schedule.messages.size());
+  for (const ScheduledMessage& sm : schedule.messages) {
+    ScheduledMessage mapped = sm;
+    mapped.message.src = map_rank(sm.message.src);
+    mapped.message.dst = map_rank(sm.message.dst);
+    out.messages.push_back(mapped);
+  }
+  return out;
 }
 
 }  // namespace aapc::core

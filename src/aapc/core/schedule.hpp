@@ -58,4 +58,18 @@ struct Schedule {
   std::string to_string(const topology::Topology& topo) const;
 };
 
+/// Rewrites every rank in `schedule` through `perm`: a message u → v
+/// becomes perm[u] → perm[v], preserving phase structure, ordering, and
+/// scope metadata. `perm` must be a permutation of [0, |ranks|) covering
+/// every rank the schedule mentions. This is how the schedule-compilation
+/// service maps a schedule compiled on a canonical topology back into the
+/// caller's rank labeling (service/canonical.hpp): when `perm` is induced
+/// by a tree isomorphism, relabeling preserves contention-freeness.
+Schedule relabel_schedule(const Schedule& schedule,
+                          const std::vector<Rank>& perm);
+
+/// Inverse of a permutation: result[perm[i]] = i. Validates that `perm`
+/// is a bijection on [0, perm.size()).
+std::vector<Rank> invert_permutation(const std::vector<Rank>& perm);
+
 }  // namespace aapc::core

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 
 #include "aapc/common/error.hpp"
@@ -492,23 +493,37 @@ ExecutionResult Executor::run(const ProgramSet& set) {
              << " more pending request(s)";
         }
       }
-      std::vector<std::string> stuck;
+      // Sort numerically by (sender, receiver, tag) — not by rendered
+      // string — so "rank 2" precedes "rank 10" and the diagnostic is
+      // byte-stable regardless of hash-map iteration order.
+      struct StuckTransfer {
+        Rank send_rank;
+        Rank recv_rank;
+        Tag tag;
+        Bytes bytes;
+        double remaining;
+      };
+      std::vector<StuckTransfer> stuck;
       for (const auto& [flow, binding] : flow_bindings) {
         if (network.flow_rate(flow) == 0 && network.flow_remaining(flow) > 0) {
           const Request& send =
               ctx[static_cast<std::size_t>(binding.send_rank)]
                   .requests[static_cast<std::size_t>(binding.send_request)];
-          std::ostringstream line;
-          line << "\n  stuck transfer: rank " << binding.send_rank
-               << " -> rank " << binding.recv_rank << " tag=" << send.tag
-               << " bytes=" << send.bytes << " ("
-               << network.flow_remaining(flow)
-               << " bytes undelivered at rate 0 — link down?)";
-          stuck.push_back(line.str());
+          stuck.push_back(StuckTransfer{binding.send_rank, binding.recv_rank,
+                                        send.tag, send.bytes,
+                                        network.flow_remaining(flow)});
         }
       }
-      std::sort(stuck.begin(), stuck.end());
-      for (const std::string& line : stuck) os << line;
+      std::sort(stuck.begin(), stuck.end(),
+                [](const StuckTransfer& a, const StuckTransfer& b) {
+                  return std::tie(a.send_rank, a.recv_rank, a.tag) <
+                         std::tie(b.send_rank, b.recv_rank, b.tag);
+                });
+      for (const StuckTransfer& t : stuck) {
+        os << "\n  stuck transfer: rank " << t.send_rank << " -> rank "
+           << t.recv_rank << " tag=" << t.tag << " bytes=" << t.bytes << " ("
+           << t.remaining << " bytes undelivered at rate 0 — link down?)";
+      }
       throw ExecutionStalled(os.str());
     }
     completed.clear();
@@ -596,16 +611,44 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     std::sort(wave.begin(), wave.end());
   }
 
-  // Leftover unmatched posts indicate a malformed algorithm.
-  for (const auto& [key, queue] : unmatched_sends) {
-    AAPC_REQUIRE(queue.empty(), "program set '"
-                                    << set.name << "' finished with "
-                                    << queue.size() << " unmatched send(s)");
-  }
-  for (const auto& [key, queue] : unmatched_recvs) {
-    AAPC_REQUIRE(queue.empty(), "program set '"
-                                    << set.name << "' finished with "
-                                    << queue.size() << " unmatched recv(s)");
+  // Leftover unmatched posts indicate a malformed algorithm. Collect
+  // every leftover across both maps and sort by (sender, receiver, tag)
+  // before reporting, so the error message names the same posts in the
+  // same order on every run (hash-map iteration order must not leak).
+  {
+    struct Unmatched {
+      MatchKey key;
+      bool is_send;
+      std::size_t count;
+    };
+    std::vector<Unmatched> leftovers;
+    for (const auto& [key, queue] : unmatched_sends) {
+      if (!queue.empty()) leftovers.push_back({key, true, queue.size()});
+    }
+    for (const auto& [key, queue] : unmatched_recvs) {
+      if (!queue.empty()) leftovers.push_back({key, false, queue.size()});
+    }
+    if (!leftovers.empty()) {
+      std::sort(leftovers.begin(), leftovers.end(),
+                [](const Unmatched& a, const Unmatched& b) {
+                  return std::tie(a.key, a.is_send) < std::tie(b.key, b.is_send);
+                });
+      std::ostringstream os;
+      os << "program set '" << set.name << "' finished with unmatched posts:";
+      std::size_t listed = 0;
+      for (const Unmatched& u : leftovers) {
+        if (listed >= 8) {
+          os << "\n  ... " << (leftovers.size() - listed) << " more";
+          break;
+        }
+        ++listed;
+        os << "\n  " << u.count << " unmatched "
+           << (u.is_send ? "send(s)" : "recv(s)") << " rank "
+           << std::get<0>(u.key) << " -> rank " << std::get<1>(u.key)
+           << " tag=" << std::get<2>(u.key);
+      }
+      throw InvalidArgument(os.str());
+    }
   }
 
   result.completion_time =

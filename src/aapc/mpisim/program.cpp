@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "aapc/common/error.hpp"
+
 namespace aapc::mpisim {
 
 std::int32_t Program::request_count() const {
@@ -39,6 +41,39 @@ std::string Program::to_string() const {
     }
   }
   return os.str();
+}
+
+ProgramSet relabel_program_set(const ProgramSet& set,
+                               const std::vector<Rank>& perm) {
+  const auto n = static_cast<Rank>(perm.size());
+  AAPC_REQUIRE(set.rank_count() == n,
+               "program set has " << set.rank_count() << " ranks but the "
+                                  << "permutation covers " << n);
+  std::vector<Rank> inverse(perm.size(), -1);
+  for (Rank r = 0; r < n; ++r) {
+    const Rank image = perm[static_cast<std::size_t>(r)];
+    AAPC_REQUIRE(image >= 0 && image < n,
+                 "permutation entry " << image << " out of range [0," << n
+                                      << ")");
+    AAPC_REQUIRE(inverse[static_cast<std::size_t>(image)] == -1,
+                 "permutation maps two ranks to " << image);
+    inverse[static_cast<std::size_t>(image)] = r;
+  }
+  ProgramSet out;
+  out.name = set.name;
+  out.programs.resize(set.programs.size());
+  for (Rank r = 0; r < n; ++r) {
+    const Program& source =
+        set.programs[static_cast<std::size_t>(inverse[static_cast<std::size_t>(r)])];
+    Program& target = out.programs[static_cast<std::size_t>(r)];
+    target.ops = source.ops;
+    for (Op& op : target.ops) {
+      if (op.kind == OpKind::kIsend || op.kind == OpKind::kIrecv) {
+        op.peer = perm[static_cast<std::size_t>(op.peer)];
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace aapc::mpisim

@@ -78,4 +78,15 @@ struct ProgramSet {
   }
 };
 
+/// Rewrites a program set through a rank permutation: the program of rank
+/// r in the result is the program of rank perm⁻¹(r) in `set`, with every
+/// op's peer rank mapped through `perm`. Request ids, tags, and byte
+/// counts are untouched (they are rank-local). Used by the
+/// schedule-compilation service to map programs lowered on a canonical
+/// topology back into the caller's rank labeling; when `perm` comes from
+/// a tree isomorphism the relabeled set executes identically (same paths,
+/// same contention structure).
+ProgramSet relabel_program_set(const ProgramSet& set,
+                               const std::vector<Rank>& perm);
+
 }  // namespace aapc::mpisim

@@ -1,0 +1,177 @@
+#include "aapc/service/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::service {
+
+using topology::NodeId;
+using topology::Rank;
+using topology::Topology;
+
+namespace {
+
+/// Centers of the tree (1 or 2 nodes): iterative leaf stripping. The
+/// center is an isomorphism invariant, which makes the rooted AHU form
+/// below invariant under relabeling.
+std::vector<NodeId> tree_centers(const Topology& topo) {
+  const std::int32_t n = topo.node_count();
+  if (n == 1) return {0};
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(n));
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(topo.neighbors(v).size());
+    if (degree[static_cast<std::size_t>(v)] <= 1) frontier.push_back(v);
+  }
+  std::int32_t remaining = n;
+  while (remaining > 2) {
+    std::vector<NodeId> next;
+    remaining -= static_cast<std::int32_t>(frontier.size());
+    for (const NodeId leaf : frontier) {
+      degree[static_cast<std::size_t>(leaf)] = 0;
+      for (const NodeId peer : topo.neighbors(leaf)) {
+        if (--degree[static_cast<std::size_t>(peer)] == 1) {
+          next.push_back(peer);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+/// AHU encoding of the subtree rooted at `v` (entered from `parent`),
+/// with children concatenated in ascending encoding order. Also records
+/// the sorted child order so the rank-assignment pass can walk the tree
+/// in exactly the order the form string lists it.
+std::string encode_subtree(const Topology& topo, NodeId v, NodeId parent,
+                           std::vector<std::vector<NodeId>>& sorted_children) {
+  std::vector<std::pair<std::string, NodeId>> child_codes;
+  for (const NodeId child : topo.neighbors(v)) {
+    if (child == parent) continue;
+    child_codes.emplace_back(encode_subtree(topo, child, v, sorted_children),
+                             child);
+  }
+  // Sort by encoding only. Siblings with equal encodings root isomorphic
+  // subtrees, so any order among them induces a valid isomorphism onto
+  // the canonical topology; std::sort's pair comparison (NodeId
+  // tiebreak) keeps the choice deterministic within one call.
+  std::sort(child_codes.begin(), child_codes.end());
+  std::string code(1, topo.is_machine(v) ? 'M' : 'S');
+  if (!child_codes.empty() || !topo.is_machine(v)) {
+    code += '(';
+    for (const auto& [child_code, child] : child_codes) code += child_code;
+    code += ')';
+  }
+  std::vector<NodeId>& order = sorted_children[static_cast<std::size_t>(v)];
+  order.clear();
+  order.reserve(child_codes.size());
+  for (const auto& [child_code, child] : child_codes) order.push_back(child);
+  return code;
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const std::string& canonical_form) {
+  // FNV-1a 64: stable across platforms, no seed, adequate avalanche for
+  // a cache key (the cache compares the stored form on hit anyway).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : canonical_form) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Canonicalization canonicalize(const Topology& topo) {
+  AAPC_REQUIRE(topo.finalized(), "canonicalize: topology must be finalized");
+  const std::vector<NodeId> centers = tree_centers(topo);
+
+  Canonicalization best;
+  std::vector<std::vector<NodeId>> best_children;
+  NodeId best_root = topology::kInvalidNode;
+  for (const NodeId center : centers) {
+    std::vector<std::vector<NodeId>> sorted_children(
+        static_cast<std::size_t>(topo.node_count()));
+    std::string form =
+        encode_subtree(topo, center, topology::kInvalidNode, sorted_children);
+    // Two centers: root at each and keep the lexicographically smaller
+    // form (equal forms are byte-identical, so either root serves).
+    if (best_root == topology::kInvalidNode || form < best.canonical_form) {
+      best.canonical_form = std::move(form);
+      best_children = std::move(sorted_children);
+      best_root = center;
+    }
+  }
+
+  // Preorder walk in sorted-child order assigns canonical ranks in the
+  // exact order machines appear in the form string — the same order
+  // build_canonical_topology() re-creates them in.
+  best.to_canonical.assign(static_cast<std::size_t>(topo.machine_count()), -1);
+  Rank next_rank = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, child index)
+  stack.emplace_back(best_root, 0);
+  if (topo.is_machine(best_root)) {
+    best.to_canonical[static_cast<std::size_t>(topo.rank_of(best_root))] =
+        next_rank++;
+  }
+  while (!stack.empty()) {
+    auto& [v, child_index] = stack.back();
+    const std::vector<NodeId>& children =
+        best_children[static_cast<std::size_t>(v)];
+    if (child_index >= children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeId child = children[child_index++];
+    if (topo.is_machine(child)) {
+      best.to_canonical[static_cast<std::size_t>(topo.rank_of(child))] =
+          next_rank++;
+    }
+    stack.emplace_back(child, 0);
+  }
+  AAPC_CHECK(next_rank == topo.machine_count());
+
+  best.hash = canonical_hash(best.canonical_form);
+  return best;
+}
+
+Topology build_canonical_topology(const std::string& canonical_form) {
+  AAPC_REQUIRE(!canonical_form.empty(),
+               "build_canonical_topology: empty form");
+  Topology topo;
+  std::size_t pos = 0;
+  // Recursive-descent over the grammar  node := ('M' | 'S') [ '(' node* ')' ]
+  // (machines only carry a child list in the degenerate 2-machine tree).
+  auto parse = [&](auto&& self, NodeId parent) -> void {
+    AAPC_REQUIRE(pos < canonical_form.size(),
+                 "canonical form truncated at offset " << pos);
+    const char kind = canonical_form[pos++];
+    AAPC_REQUIRE(kind == 'M' || kind == 'S',
+                 "canonical form: unexpected '" << kind << "' at offset "
+                                                << (pos - 1));
+    const NodeId node =
+        kind == 'M' ? topo.add_machine() : topo.add_switch();
+    if (parent != topology::kInvalidNode) topo.add_link(parent, node);
+    if (pos < canonical_form.size() && canonical_form[pos] == '(') {
+      ++pos;
+      while (pos < canonical_form.size() && canonical_form[pos] != ')') {
+        self(self, node);
+      }
+      AAPC_REQUIRE(pos < canonical_form.size(),
+                   "canonical form: unbalanced '(' at end");
+      ++pos;  // consume ')'
+    }
+  };
+  parse(parse, topology::kInvalidNode);
+  AAPC_REQUIRE(pos == canonical_form.size(),
+               "canonical form: trailing characters at offset " << pos);
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace aapc::service

@@ -1,0 +1,77 @@
+#include "aapc/service/compiler_pool.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace aapc::service {
+
+CompilerPool::CompilerPool(std::int32_t threads, std::int32_t queue_capacity)
+    : queue_capacity_(static_cast<std::size_t>(std::max(queue_capacity, 1))) {
+  AAPC_REQUIRE(threads >= 1, "compiler pool needs >= 1 thread");
+  AAPC_REQUIRE(queue_capacity >= 1, "compiler pool queue capacity must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (std::int32_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CompilerPool::~CompilerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void CompilerPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    AAPC_REQUIRE(!shutting_down_, "compiler pool is shutting down");
+    if (queue_.size() >= queue_capacity_) {
+      ++rejected_;
+      throw PoolSaturated("compiler pool saturated: " +
+                          std::to_string(queue_.size()) +
+                          " task(s) queued (capacity " +
+                          std::to_string(queue_capacity_) + ")");
+    }
+    queue_.push_back(std::move(task));
+    ++submitted_;
+    peak_queue_depth_ = std::max(
+        peak_queue_depth_, static_cast<std::int64_t>(queue_.size()));
+  }
+  work_available_.notify_one();
+}
+
+void CompilerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down with nothing pending
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_;
+    }
+  }
+}
+
+CompilerPool::Stats CompilerPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.submitted = submitted_;
+  stats.executed = executed_;
+  stats.rejected = rejected_;
+  stats.queue_depth = static_cast<std::int64_t>(queue_.size());
+  stats.peak_queue_depth = peak_queue_depth_;
+  return stats;
+}
+
+}  // namespace aapc::service

@@ -1,0 +1,74 @@
+#include "aapc/service/schedule_cache.hpp"
+
+#include <algorithm>
+
+#include "aapc/common/error.hpp"
+
+namespace aapc::service {
+
+ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards) {
+  AAPC_REQUIRE(capacity >= 1, "cache capacity must be >= 1");
+  AAPC_REQUIRE(shards >= 1, "cache must have >= 1 shard");
+  shards = std::min(shards, capacity);  // no zero-capacity shards
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScheduleCache::Shard& ScheduleCache::shard_for(const CacheKey& key) {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+CompiledEntryPtr ScheduleCache::get(const CacheKey& key,
+                                    const std::string& canonical_form) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end() ||
+      it->second->second->canonical_form != canonical_form) {
+    ++shard.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->second;
+}
+
+void ScheduleCache::put(const CacheKey& key, CompiledEntryPtr entry) {
+  AAPC_REQUIRE(entry != nullptr, "cache cannot store a null entry");
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (a coalescing race can compile the same key
+    // twice across service restarts/option changes); keep MRU position.
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ScheduleCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.entries += static_cast<std::int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+}  // namespace aapc::service

@@ -1,0 +1,137 @@
+// Sharded LRU cache of compiled schedules.
+//
+// The unit of caching is one *canonical* compilation: the phase schedule,
+// synchronization plan, and lowered per-rank programs produced for a
+// canonical topology (service/canonical.hpp) at one message-size class
+// under one set of lowering options. Entries are immutable and shared
+// (shared_ptr<const CompiledEntry>), so a hit hands out the artifact
+// without copying and eviction never invalidates a routine already
+// served.
+//
+// Sharding: the key hash picks a shard; each shard has its own mutex and
+// LRU list, so concurrent lookups for different topologies do not
+// serialize on one lock. Capacity is divided evenly across shards
+// (per-shard LRU, the standard approximation of global LRU).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aapc/common/units.hpp"
+#include "aapc/core/schedule.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/mpisim/program.hpp"
+#include "aapc/sync/sync_plan.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::service {
+
+/// Cache key: canonical topology identity + message-size class +
+/// compilation-options fingerprint. Two requests with equal keys are
+/// served by one compiled artifact.
+struct CacheKey {
+  std::uint64_t topology_hash = 0;
+  std::uint32_t size_class = 0;
+  std::uint32_t options_fingerprint = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept {
+    // splitmix64 finalizer over the three fields packed into one word
+    // stream; topology_hash already avalanches, the mix spreads the
+    // low-entropy class/options fields.
+    std::uint64_t h = key.topology_hash ^
+                      (static_cast<std::uint64_t>(key.size_class) << 32) ^
+                      static_cast<std::uint64_t>(key.options_fingerprint);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One compiled schedule in canonical rank labeling. Immutable once
+/// published to the cache.
+struct CompiledEntry {
+  /// Canonical form the entry was compiled for — compared on every hit,
+  /// so a 64-bit hash collision degrades to a miss instead of serving a
+  /// schedule for the wrong topology.
+  std::string canonical_form;
+  /// The canonical topology (reconstructed from the form).
+  topology::Topology canonical_topo;
+  /// Phase schedule in canonical ranks.
+  core::Schedule schedule;
+  /// Pair-wise synchronization plan for `schedule`.
+  sync::SyncPlan sync_plan;
+  /// Lowered per-rank programs at `class_bytes`, canonical ranks.
+  mpisim::ProgramSet programs;
+  lowering::LoweringInfo info;
+  /// Representative message size of the entry's size class.
+  Bytes class_bytes = 0;
+  /// Wall-clock cost of the compilation that produced this entry.
+  double compile_seconds = 0;
+};
+
+using CompiledEntryPtr = std::shared_ptr<const CompiledEntry>;
+
+/// Monotonic counters aggregated over all shards.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;  // current
+};
+
+class ScheduleCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly over `shards`
+  /// (each shard holds at least one entry).
+  ScheduleCache(std::size_t capacity, std::size_t shards);
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  /// Returns the entry for `key` (promoting it to most-recently-used)
+  /// or nullptr. `canonical_form` guards against hash collisions: an
+  /// entry whose stored form differs is not returned.
+  CompiledEntryPtr get(const CacheKey& key, const std::string& canonical_form);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the shard's
+  /// least-recently-used entry when over budget.
+  void put(const CacheKey& key, CompiledEntryPtr entry);
+
+  CacheStats stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<CacheKey, CompiledEntryPtr>> lru;
+    std::unordered_map<CacheKey,
+                       std::list<std::pair<CacheKey, CompiledEntryPtr>>::iterator,
+                       CacheKeyHash>
+        index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key);
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace aapc::service

@@ -1,0 +1,311 @@
+#include "aapc/service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "aapc/common/log.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/sync/sync_plan.hpp"
+
+namespace aapc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint32_t fingerprint_options(const lowering::LoweringOptions& opts,
+                                  bool verify_compiled) {
+  // Pack every knob that changes the compiled artifact, then mix. Two
+  // services configured differently must never share cache entries.
+  std::uint64_t h = 0;
+  h |= static_cast<std::uint64_t>(opts.sync);
+  h = h * 0x100000001b3ull + opts.sync_message_bytes;
+  h = h * 0x100000001b3ull + (opts.reduce_redundant_syncs ? 1 : 0);
+  h = h * 0x100000001b3ull + (opts.include_self_copy ? 1 : 0);
+  h = h * 0x100000001b3ull + (opts.verify_schedule ? 1 : 0);
+  h = h * 0x100000001b3ull + (verify_compiled ? 1 : 0);
+  h ^= h >> 32;
+  return static_cast<std::uint32_t>(h);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 1.0) {
+    os << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::uint32_t ScheduleService::size_class(Bytes msize) {
+  AAPC_REQUIRE(msize >= 1, "message size must be >= 1 byte");
+  std::uint32_t cls = 0;
+  while ((Bytes{1} << cls) < msize) ++cls;
+  return cls;
+}
+
+Bytes ScheduleService::size_class_bytes(std::uint32_t size_class) {
+  AAPC_REQUIRE(size_class < 63, "size class " << size_class << " out of range");
+  return Bytes{1} << size_class;
+}
+
+ScheduleService::ScheduleService(const ServiceOptions& options)
+    : options_(options),
+      options_fingerprint_(
+          fingerprint_options(options.lowering, options.verify_compiled)),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.compiler_threads, options.queue_capacity) {}
+
+CacheKey ScheduleService::cache_key(const Canonicalization& canon,
+                                    Bytes msize) const {
+  return CacheKey{canon.hash, size_class(msize), options_fingerprint_};
+}
+
+CompiledEntryPtr ScheduleService::compile_entry(
+    const std::string& canonical_form, Bytes class_bytes) {
+  const Clock::time_point start = Clock::now();
+  auto entry = std::make_shared<CompiledEntry>();
+  entry->canonical_form = canonical_form;
+  entry->canonical_topo = build_canonical_topology(canonical_form);
+  entry->class_bytes = class_bytes;
+  entry->schedule = core::build_aapc_schedule(entry->canonical_topo);
+  if (options_.verify_compiled) {
+    const core::VerifyReport report =
+        core::verify_schedule(entry->canonical_topo, entry->schedule);
+    AAPC_CHECK_MSG(report.ok, "compiled schedule failed verification:\n"
+                                  << report.summary());
+  }
+  entry->sync_plan = sync::build_sync_plan(entry->canonical_topo,
+                                           entry->schedule);
+  entry->programs = lowering::lower_schedule(entry->canonical_topo,
+                                             entry->schedule, class_bytes,
+                                             options_.lowering, &entry->info);
+  entry->compile_seconds = seconds_since(start);
+  record_compile_latency(entry->compile_seconds);
+  AAPC_DEBUG("compiled canonical topology ("
+             << entry->canonical_topo.machine_count() << " machines, class "
+             << class_bytes << " B) in "
+             << format_seconds(entry->compile_seconds));
+  return entry;
+}
+
+CompiledRoutine ScheduleService::finish(const Canonicalization& canon,
+                                        CompiledEntryPtr entry, bool cache_hit,
+                                        bool coalesced,
+                                        Clock::time_point start) const {
+  CompiledRoutine routine;
+  const std::vector<topology::Rank> from_canonical =
+      core::invert_permutation(canon.to_canonical);
+  routine.schedule = core::relabel_schedule(entry->schedule, from_canonical);
+  routine.programs = mpisim::relabel_program_set(entry->programs,
+                                                 from_canonical);
+  routine.entry = std::move(entry);
+  routine.to_canonical = canon.to_canonical;
+  routine.cache_hit = cache_hit;
+  routine.coalesced = coalesced;
+  routine.service_seconds = seconds_since(start);
+  return routine;
+}
+
+double ScheduleService::retry_after_hint() const {
+  // Expected time for the backlog to drain: (queued + executing) tasks
+  // at the observed median compile cost over the worker count, floored
+  // at a small constant so a cold service still suggests a real pause.
+  double median = 0.05;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    if (!compile_latencies_.empty()) {
+      std::vector<double> sorted = compile_latencies_;
+      std::sort(sorted.begin(), sorted.end());
+      median = std::max(percentile(sorted, 0.5), 1e-3);
+    }
+  }
+  const CompilerPool::Stats pool = pool_.stats();
+  const double backlog =
+      static_cast<double>(pool.queue_depth + pool_.thread_count());
+  return median * backlog / static_cast<double>(pool_.thread_count());
+}
+
+void ScheduleService::record_compile_latency(double seconds) {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  compile_latencies_.push_back(seconds);
+}
+
+CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
+                                         Bytes msize) {
+  const Clock::time_point start = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const Canonicalization canon = canonicalize(topo);
+  const CacheKey key = cache_key(canon, msize);
+  const Bytes class_bytes = size_class_bytes(key.size_class);
+
+  if (CompiledEntryPtr entry = cache_.get(key, canon.canonical_form)) {
+    return finish(canon, std::move(entry), /*cache_hit=*/true,
+                  /*coalesced=*/false, start);
+  }
+
+  // Miss: coalesce with an in-flight compilation of the same key, or
+  // become the one request that submits it.
+  std::shared_future<CompiledEntryPtr> future;
+  // shared_ptr because std::function requires copyable callables and
+  // std::promise is move-only.
+  std::shared_ptr<std::promise<CompiledEntryPtr>> promise;
+  bool leader = false;
+  CompiledEntryPtr late_hit;
+  {
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    const auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      future = it->second;
+      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Double-check the cache before becoming the leader: another
+      // request may have published this key between our miss above and
+      // taking the in-flight lock (its marker is already gone), and
+      // compiling again would break the one-compilation-per-key
+      // guarantee. Lock order in_flight -> shard is safe: no path holds
+      // a shard lock while taking the in-flight lock.
+      late_hit = cache_.get(key, canon.canonical_form);
+      if (late_hit == nullptr) {
+        promise = std::make_shared<std::promise<CompiledEntryPtr>>();
+        future = promise->get_future().share();
+        in_flight_.emplace(key, future);
+        leader = true;
+      }
+    }
+  }
+  if (late_hit != nullptr) {
+    return finish(canon, std::move(late_hit), /*cache_hit=*/true,
+                  /*coalesced=*/false, start);
+  }
+
+  if (leader) {
+    // The task owns the promise: it publishes to the cache, resolves
+    // every coalesced waiter, and removes the in-flight marker (in that
+    // order, so a request arriving after removal finds the cache entry).
+    auto task = [this, key, form = canon.canonical_form, class_bytes,
+                 task_promise = promise]() {
+      try {
+        CompiledEntryPtr entry = compile_entry(form, class_bytes);
+        cache_.put(key, entry);
+        task_promise->set_value(std::move(entry));
+      } catch (...) {
+        task_promise->set_exception(std::current_exception());
+      }
+      const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+      in_flight_.erase(key);
+    };
+    try {
+      pool_.submit(std::move(task));
+    } catch (const PoolSaturated& saturated) {
+      // Fail this request and every waiter already coalesced onto it;
+      // the in-flight marker goes away so a retry can submit afresh.
+      // (submit only throws before taking ownership of the task, so the
+      // promise is still ours to resolve here.)
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      const double retry_after = retry_after_hint();
+      ServiceOverloaded overloaded(
+          std::string(saturated.what()) + " — retry after " +
+              format_seconds(retry_after),
+          retry_after);
+      promise->set_exception(std::make_exception_ptr(overloaded));
+      {
+        const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+        in_flight_.erase(key);
+      }
+      throw overloaded;
+    }
+  }
+
+  CompiledEntryPtr entry = future.get();  // rethrows compilation errors
+  if (entry->canonical_form != canon.canonical_form) {
+    // 64-bit hash collision between two distinct canonical forms: the
+    // in-flight compilation we waited on was for the other topology.
+    // Serve correctness over throughput: compile inline, uncached.
+    hash_collisions_.fetch_add(1, std::memory_order_relaxed);
+    AAPC_WARN("canonical hash collision (hash "
+              << canon.hash << "); compiling inline without caching");
+    entry = compile_entry(canon.canonical_form, class_bytes);
+  }
+  return finish(canon, std::move(entry), /*cache_hit=*/false, !leader, start);
+}
+
+MetricsSnapshot ScheduleService::metrics() const {
+  MetricsSnapshot snapshot;
+  snapshot.requests = requests_.load(std::memory_order_relaxed);
+  snapshot.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
+  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.hash_collisions = hash_collisions_.load(std::memory_order_relaxed);
+  const CacheStats cache = cache_.stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_entries = cache.entries;
+  snapshot.cache_evictions = cache.evictions;
+  const CompilerPool::Stats pool = pool_.stats();
+  snapshot.queue_depth = pool.queue_depth;
+  snapshot.peak_queue_depth = pool.peak_queue_depth;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    snapshot.compilations =
+        static_cast<std::int64_t>(compile_latencies_.size());
+    if (!compile_latencies_.empty()) {
+      std::vector<double> sorted = compile_latencies_;
+      std::sort(sorted.begin(), sorted.end());
+      snapshot.compile_p50_seconds = percentile(sorted, 0.5);
+      snapshot.compile_p95_seconds = percentile(sorted, 0.95);
+      snapshot.compile_max_seconds = sorted.back();
+    }
+  }
+  return snapshot;
+}
+
+TextTable MetricsSnapshot::table() const {
+  TextTable table;
+  table.set_header({"metric", "value"});
+  auto add = [&](const std::string& name, const std::string& value) {
+    table.add_row({name, value});
+  };
+  add("requests", std::to_string(requests));
+  add("cache hits", std::to_string(cache_hits));
+  add("cache misses", std::to_string(cache_misses));
+  {
+    std::ostringstream os;
+    os << hit_rate() * 100.0 << " %";
+    add("hit rate", os.str());
+  }
+  add("coalesced waits", std::to_string(coalesced_waits));
+  add("compilations", std::to_string(compilations));
+  add("rejected (backpressure)", std::to_string(rejected));
+  add("hash collisions", std::to_string(hash_collisions));
+  add("cache entries", std::to_string(cache_entries));
+  add("cache evictions", std::to_string(cache_evictions));
+  add("queue depth", std::to_string(queue_depth));
+  add("peak queue depth", std::to_string(peak_queue_depth));
+  add("compile p50", format_seconds(compile_p50_seconds));
+  add("compile p95", format_seconds(compile_p95_seconds));
+  add("compile max", format_seconds(compile_max_seconds));
+  return table;
+}
+
+std::string MetricsSnapshot::to_string() const { return table().render(); }
+
+}  // namespace aapc::service

@@ -1,0 +1,177 @@
+// Schedule-compilation service.
+//
+// The paper's §5 routine generator is a one-shot tool: topology in,
+// customized MPI_Alltoall out, recompiled from scratch per invocation.
+// This service turns it into an amortizing, concurrency-safe pipeline:
+//
+//   request (topology, msize)
+//     -> canonicalize            relabeling-invariant identity + rank
+//                                permutation (service/canonical.hpp)
+//     -> sharded LRU cache       hit: rewrite cached artifact into the
+//                                caller's labeling, done
+//     -> in-flight coalescing    N concurrent misses on one canonical
+//                                key trigger exactly one compilation;
+//                                the rest wait on its shared future
+//     -> compiler pool           bounded queue; when saturated the
+//                                request is rejected with a retry-after
+//                                hint instead of queueing unboundedly
+//
+// Compiled artifacts live in canonical rank labeling and are immutable;
+// every response rewrites a shared artifact through the caller's rank
+// permutation (core::relabel_schedule, mpisim::relabel_program_set),
+// which preserves contention-freeness because the permutation comes
+// from a tree isomorphism. See docs/SERVICE.md for the architecture,
+// cache-key definition, and backpressure contract.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/table.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/service/canonical.hpp"
+#include "aapc/service/compiler_pool.hpp"
+#include "aapc/service/schedule_cache.hpp"
+
+namespace aapc::service {
+
+/// Thrown when the compiler pool's bounded queue is full. Callers should
+/// back off for at least `retry_after_seconds` before resubmitting.
+class ServiceOverloaded : public Error {
+ public:
+  ServiceOverloaded(const std::string& what, double retry_after_seconds)
+      : Error(what), retry_after_seconds_(retry_after_seconds) {}
+  double retry_after_seconds() const { return retry_after_seconds_; }
+
+ private:
+  double retry_after_seconds_;
+};
+
+struct ServiceOptions {
+  /// Total cached entries across all shards.
+  std::size_t cache_capacity = 256;
+  std::size_t cache_shards = 8;
+  /// Compilation worker threads.
+  std::int32_t compiler_threads = 4;
+  /// Queued (not yet executing) compilations before submit rejects.
+  std::int32_t queue_capacity = 64;
+  /// Lowering configuration applied to every compilation (part of the
+  /// cache key, so services with different options never share entries).
+  lowering::LoweringOptions lowering;
+  /// Run the full independent verifier (core::verify_schedule) on every
+  /// compiled schedule before publishing it to the cache.
+  bool verify_compiled = true;
+};
+
+/// A served routine, rewritten into the caller's rank labeling.
+struct CompiledRoutine {
+  /// The shared canonical artifact (schedule, sync plan, programs).
+  CompiledEntryPtr entry;
+  /// Phase schedule in the caller's ranks.
+  core::Schedule schedule;
+  /// Lowered per-rank programs in the caller's ranks.
+  mpisim::ProgramSet programs;
+  /// caller rank -> canonical rank (entry->schedule labeling).
+  std::vector<topology::Rank> to_canonical;
+  /// Served straight from the cache (no compilation waited on).
+  bool cache_hit = false;
+  /// Waited on a compilation started by a concurrent request.
+  bool coalesced = false;
+  /// End-to-end wall-clock latency of this request.
+  double service_seconds = 0;
+};
+
+/// Point-in-time service counters (monotonic unless noted).
+struct MetricsSnapshot {
+  std::int64_t requests = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t coalesced_waits = 0;
+  std::int64_t compilations = 0;
+  std::int64_t rejected = 0;
+  std::int64_t hash_collisions = 0;
+  std::int64_t cache_entries = 0;    // current
+  std::int64_t cache_evictions = 0;
+  std::int64_t queue_depth = 0;      // current
+  std::int64_t peak_queue_depth = 0;
+  double compile_p50_seconds = 0;
+  double compile_p95_seconds = 0;
+  double compile_max_seconds = 0;
+
+  double hit_rate() const {
+    return requests > 0 ? static_cast<double>(cache_hits) /
+                              static_cast<double>(requests)
+                        : 0.0;
+  }
+  /// Metric/value table (the aapc_serviced CLI prints this).
+  TextTable table() const;
+  std::string to_string() const;
+};
+
+class ScheduleService {
+ public:
+  explicit ScheduleService(const ServiceOptions& options = {});
+
+  ScheduleService(const ScheduleService&) = delete;
+  ScheduleService& operator=(const ScheduleService&) = delete;
+
+  /// Compiles (or serves from cache) the AAPC routine for `topo` at
+  /// message size `msize`, blocking until the artifact is available.
+  /// Throws ServiceOverloaded when a compilation would be required but
+  /// the pool queue is full; rethrows compilation errors verbatim.
+  CompiledRoutine compile(const topology::Topology& topo, Bytes msize);
+
+  MetricsSnapshot metrics() const;
+  const ServiceOptions& options() const { return options_; }
+
+  /// Message sizes are bucketed into power-of-two classes: class c
+  /// covers (2^(c-1), 2^c] bytes and compiles at the representative
+  /// size 2^c, so near-equal sizes share one cache entry. Class 0 is
+  /// exactly 1 byte.
+  static std::uint32_t size_class(Bytes msize);
+  static Bytes size_class_bytes(std::uint32_t size_class);
+
+  /// The cache key `compile` uses for a request (exposed for tests).
+  CacheKey cache_key(const Canonicalization& canon, Bytes msize) const;
+
+ private:
+  CompiledEntryPtr compile_entry(const std::string& canonical_form,
+                                 Bytes class_bytes);
+  CompiledRoutine finish(const Canonicalization& canon, CompiledEntryPtr entry,
+                         bool cache_hit, bool coalesced,
+                         std::chrono::steady_clock::time_point start) const;
+  double retry_after_hint() const;
+  void record_compile_latency(double seconds);
+
+  ServiceOptions options_;
+  std::uint32_t options_fingerprint_;
+  ScheduleCache cache_;
+
+  std::mutex in_flight_mutex_;
+  std::unordered_map<CacheKey, std::shared_future<CompiledEntryPtr>,
+                     CacheKeyHash>
+      in_flight_;
+
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> coalesced_waits_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> hash_collisions_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> compile_latencies_;
+
+  // Declared last on purpose: members are destroyed in reverse order,
+  // and the pool's destructor drains and joins workers whose tasks
+  // touch cache_, in_flight_, and the latency buffer above. The pool
+  // must die first so no task outlives the members it uses.
+  CompilerPool pool_;
+};
+
+}  // namespace aapc::service

@@ -1,0 +1,95 @@
+// Compiler-pool unit tests: execution, bounded-queue backpressure, and
+// shutdown draining. (Coalescing lives in the service layer and is
+// covered by service_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "aapc/service/compiler_pool.hpp"
+
+namespace aapc::service {
+namespace {
+
+TEST(CompilerPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> executed{0};
+  {
+    CompilerPool pool(4, 64);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&executed] { executed.fetch_add(1); });
+    }
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(CompilerPoolTest, StatsCountSubmissions) {
+  CompilerPool pool(2, 16);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&executed] { executed.fetch_add(1); });
+  }
+  // Spin until the queue drains (bounded by the test timeout).
+  while (executed.load() < 10) std::this_thread::yield();
+  const CompilerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 10);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.peak_queue_depth, 0);
+}
+
+TEST(CompilerPoolTest, SaturatedQueueRejects) {
+  // One worker blocked on a latch; queue capacity 2. The third queued
+  // submission must throw PoolSaturated, and the counter must show it.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  CompilerPool pool(1, 2);
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the worker has picked up the blocking task, so both
+  // subsequent submissions sit in the queue.
+  while (pool.stats().queue_depth > 0) std::this_thread::yield();
+  pool.submit([] {});
+  pool.submit([] {});
+  EXPECT_THROW(pool.submit([] {}), PoolSaturated);
+  EXPECT_EQ(pool.stats().rejected, 1);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(CompilerPoolTest, RejectsInvalidConfig) {
+  EXPECT_THROW(CompilerPool(0, 4), InvalidArgument);
+  EXPECT_THROW(CompilerPool(2, 0), InvalidArgument);
+}
+
+TEST(CompilerPoolTest, ParallelismActuallyOverlaps) {
+  // With 4 workers, 4 tasks that each wait for all 4 to start can only
+  // finish if they run concurrently.
+  CompilerPool pool(4, 8);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      started.fetch_add(1);
+      while (started.load() < 4) std::this_thread::yield();
+      finished.fetch_add(1);
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (finished.load() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(finished.load(), 4);
+}
+
+}  // namespace
+}  // namespace aapc::service

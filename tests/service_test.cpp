@@ -1,0 +1,252 @@
+// End-to-end schedule-compilation service tests: cache hits across
+// isomorphic relabelings, in-flight request coalescing (the acceptance
+// bar: 64 concurrent requests for one canonical key perform exactly one
+// compilation), backpressure rejection, metrics accounting, and
+// executability of the rewritten programs on the caller's topology.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/mpisim/executor.hpp"
+#include "aapc/service/service.hpp"
+#include "aapc/topology/generators.hpp"
+
+namespace aapc::service {
+namespace {
+
+using topology::NodeId;
+using topology::Rank;
+using topology::Topology;
+
+/// Node-order relabeling of `topo` (same tree, fresh labels/ranks).
+Topology shuffled_copy(const Topology& topo, Rng& rng) {
+  const std::int32_t n = topo.node_count();
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  Topology out;
+  std::vector<NodeId> new_id(static_cast<std::size_t>(n));
+  for (const NodeId old : order) {
+    new_id[static_cast<std::size_t>(old)] =
+        topo.is_machine(old) ? out.add_machine() : out.add_switch();
+  }
+  for (topology::LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto [a, b] = topo.link_endpoints(l);
+    out.add_link(new_id[static_cast<std::size_t>(a)],
+                 new_id[static_cast<std::size_t>(b)]);
+  }
+  out.finalize();
+  return out;
+}
+
+TEST(ScheduleServiceTest, ColdThenWarm) {
+  ScheduleService service;
+  const Topology topo = topology::make_paper_topology_b();
+  const CompiledRoutine cold = service.compile(topo, 64_KiB);
+  EXPECT_FALSE(cold.cache_hit);
+  const CompiledRoutine warm = service.compile(topo, 64_KiB);
+  EXPECT_TRUE(warm.cache_hit);
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.requests, 2);
+  EXPECT_EQ(metrics.cache_hits, 1);
+  EXPECT_EQ(metrics.compilations, 1);
+  EXPECT_EQ(warm.schedule.phase_count(), topo.aapc_load());
+}
+
+TEST(ScheduleServiceTest, SizeClassesShareScheduleNotEntry) {
+  ScheduleService service;
+  const Topology topo = topology::make_paper_topology_a();
+  const CompiledRoutine at_48k = service.compile(topo, 48_KiB);
+  // 48 KiB rounds up to the 64 KiB class.
+  EXPECT_EQ(at_48k.entry->class_bytes, 64_KiB);
+  const CompiledRoutine at_64k = service.compile(topo, 64_KiB);
+  EXPECT_TRUE(at_64k.cache_hit);  // same class
+  const CompiledRoutine at_128k = service.compile(topo, 128_KiB);
+  EXPECT_FALSE(at_128k.cache_hit);  // next class compiles anew
+  EXPECT_EQ(service.metrics().compilations, 2);
+}
+
+TEST(ScheduleServiceTest, IsomorphicRelabelingsHitOneEntry) {
+  ScheduleService service;
+  Rng rng(2024);
+  const Topology base = topology::make_paper_topology_c();
+  const CompiledRoutine first = service.compile(base, 32_KiB);
+  EXPECT_FALSE(first.cache_hit);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Topology relabeled = shuffled_copy(base, rng);
+    const CompiledRoutine served = service.compile(relabeled, 32_KiB);
+    EXPECT_TRUE(served.cache_hit) << "trial " << trial;
+    // The rewritten schedule must satisfy the paper's Theorem on the
+    // caller's labeling, not just the canonical one.
+    EXPECT_NO_THROW(core::require_contention_free(relabeled, served.schedule));
+    const core::VerifyReport report =
+        core::verify_schedule(relabeled, served.schedule);
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_EQ(served.schedule.phase_count(), relabeled.aapc_load());
+  }
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.compilations, 1);
+  EXPECT_EQ(metrics.cache_hits, 6);
+}
+
+TEST(ScheduleServiceTest, RewrittenProgramsExecuteOnCallerTopology) {
+  ScheduleService service;
+  Rng rng(7);
+  const Topology base = topology::make_paper_figure1();
+  service.compile(base, 16_KiB);  // populate
+  const Topology relabeled = shuffled_copy(base, rng);
+  const CompiledRoutine served = service.compile(relabeled, 16_KiB);
+  EXPECT_TRUE(served.cache_hit);
+  // The relabeled program set runs to completion on the caller's
+  // topology with exactly-once delivery (the executor's integrity
+  // ledger throws otherwise).
+  mpisim::Executor executor(relabeled, simnet::NetworkParams{},
+                            mpisim::ExecutorParams{});
+  const mpisim::ExecutionResult result = executor.run(served.programs);
+  EXPECT_GT(result.completion_time, 0);
+  EXPECT_TRUE(result.integrity.ok());
+}
+
+TEST(ScheduleServiceTest, CoalescingCompilesExactlyOnce) {
+  // The acceptance bar: 64 concurrent requests for one canonical key
+  // perform exactly 1 compilation; the other 63 either hit the cache
+  // (arrived after publication) or coalesce onto the in-flight future.
+  ServiceOptions options;
+  options.compiler_threads = 4;
+  ScheduleService service(options);
+  const Topology topo = topology::make_paper_topology_b();
+  constexpr int kRequests = 64;
+  std::atomic<int> hits{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRequests);
+  for (int t = 0; t < kRequests; ++t) {
+    threads.emplace_back([&service, &topo, &hits, &failures] {
+      try {
+        const CompiledRoutine routine = service.compile(topo, 64_KiB);
+        if (routine.cache_hit) hits.fetch_add(1);
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.requests, kRequests);
+  EXPECT_EQ(metrics.compilations, 1);
+  EXPECT_EQ(metrics.cache_hits + metrics.coalesced_waits + 1, kRequests);
+  EXPECT_EQ(metrics.rejected, 0);
+}
+
+TEST(ScheduleServiceTest, ManyTopologiesConcurrently) {
+  // Concurrency smoke across distinct keys (run under TSan in CI):
+  // every distinct (topology, class) compiles at most once.
+  ServiceOptions options;
+  options.compiler_threads = 4;
+  options.queue_capacity = 256;
+  ScheduleService service(options);
+  std::vector<Topology> topologies;
+  topologies.push_back(topology::make_single_switch(6));
+  topologies.push_back(topology::make_star({3, 3}));
+  topologies.push_back(topology::make_chain({2, 2, 2}));
+  topologies.push_back(topology::make_paper_figure1());
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const Topology& topo =
+            topologies[static_cast<std::size_t>((t + i) % 4)];
+        try {
+          const CompiledRoutine routine = service.compile(topo, 32_KiB);
+          if (routine.schedule.phase_count() != topo.aapc_load()) {
+            failures.fetch_add(1);
+          }
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.requests, kThreads * kIterations);
+  EXPECT_LE(metrics.compilations, 4);
+}
+
+TEST(ScheduleServiceTest, BackpressureRejectsWithRetryAfter) {
+  // One worker, queue capacity 1, and distinct topologies so nothing
+  // coalesces: the third simultaneous compilation has nowhere to go.
+  ServiceOptions options;
+  options.compiler_threads = 1;
+  options.queue_capacity = 1;
+  ScheduleService service(options);
+  std::vector<Topology> topologies;
+  for (int machines = 16; machines <= 40; machines += 2) {
+    topologies.push_back(topology::make_single_switch(machines));
+  }
+  std::atomic<int> rejected{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        service.compile(topologies[t], 64_KiB);
+        served.fetch_add(1);
+      } catch (const ServiceOverloaded& overloaded) {
+        EXPECT_GT(overloaded.retry_after_seconds(), 0);
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(served.load() + rejected.load(),
+            static_cast<int>(topologies.size()));
+  // With 13 concurrent compilations against 1 worker + 1 queue slot,
+  // some must be rejected — and the metrics must agree.
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(service.metrics().rejected, rejected.load());
+  // Rejected keys retry successfully once the backlog drains.
+  for (const Topology& topo : topologies) {
+    for (;;) {
+      try {
+        service.compile(topo, 64_KiB);
+        break;
+      } catch (const ServiceOverloaded&) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  EXPECT_EQ(service.metrics().hash_collisions, 0);
+}
+
+TEST(ScheduleServiceTest, SizeClassMath) {
+  EXPECT_EQ(ScheduleService::size_class(1), 0u);
+  EXPECT_EQ(ScheduleService::size_class(2), 1u);
+  EXPECT_EQ(ScheduleService::size_class(3), 2u);
+  EXPECT_EQ(ScheduleService::size_class(4), 2u);
+  EXPECT_EQ(ScheduleService::size_class(64_KiB), 16u);
+  EXPECT_EQ(ScheduleService::size_class(64_KiB + 1), 17u);
+  EXPECT_EQ(ScheduleService::size_class_bytes(16), 64_KiB);
+  EXPECT_THROW(ScheduleService::size_class(0), InvalidArgument);
+}
+
+TEST(ScheduleServiceTest, MetricsTableRenders) {
+  ScheduleService service;
+  service.compile(topology::make_paper_figure1(), 8_KiB);
+  const std::string rendered = service.metrics().to_string();
+  EXPECT_NE(rendered.find("requests"), std::string::npos);
+  EXPECT_NE(rendered.find("compile p95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapc::service
