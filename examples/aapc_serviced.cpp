@@ -11,12 +11,15 @@
 // Run:  ./aapc_serviced --requests 200 --threads 8
 //       ./aapc_serviced --requests 500 --threads 16 --cache-capacity 4
 //       ./aapc_serviced --requests 200 --threads 8 --min-hit-rate 0.5
+//       ./aapc_serviced --requests 200 --metrics-out metrics.json
 //
 // --min-hit-rate makes the exit status assert the cache worked (used by
-// the CI smoke test).
+// the CI smoke test); --metrics-out writes the full registry snapshot
+// as JSON (obs::to_json — parse back with obs::snapshot_from_json).
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "aapc/common/rng.hpp"
 #include "aapc/common/table.hpp"
 #include "aapc/common/units.hpp"
+#include "aapc/obs/exposition.hpp"
 #include "aapc/service/service.hpp"
 #include "aapc/topology/generators.hpp"
 
@@ -95,6 +99,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "workload rng seed", "1");
   cli.add_flag("min-hit-rate",
                "exit nonzero unless cache hit rate reaches this", "-1");
+  cli.add_flag("metrics-out",
+               "write the service metrics registry to this file as a JSON "
+               "snapshot (docs/OBSERVABILITY.md)");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.help_text();
     return 0;
@@ -174,6 +181,21 @@ int main(int argc, char** argv) {
             << zipf_s << "), retries after overload: " << retries.load()
             << "\n\n"
             << metrics.to_string() << "\n";
+
+  if (cli.has("metrics-out")) {
+    const std::string path = cli.get("metrics-out");
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::cerr << "FAIL: cannot open metrics output file " << path << "\n";
+      return 1;
+    }
+    out << obs::to_json(service.metrics_snapshot()) << "\n";
+    if (!out.good()) {
+      std::cerr << "FAIL: short write to " << path << "\n";
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << path << "\n";
+  }
 
   if (compile_errors.load() > 0 || served.load() != requests) {
     std::cerr << "FAIL: " << compile_errors.load() << " compile errors, "

@@ -1,7 +1,9 @@
 #include "aapc/common/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <system_error>
 
 #include "aapc/common/error.hpp"
 
@@ -112,6 +114,43 @@ std::string format_double(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+std::string format_double_roundtrip(double value) {
+  char buffer[64];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+ParsedNumber parse_json_number(std::string_view text) {
+  ParsedNumber parsed;
+  std::size_t i = 0;
+  auto digits = [&] {
+    const std::size_t start = i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < text.size() && text[i] == '-') ++i;
+  if (!digits()) return parsed;  // length 0: not a number
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    if (!digits()) return parsed;
+  }
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    const std::size_t mark = i;
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    if (!digits()) i = mark;  // "1e" / "1e+": the exponent is not part
+                              // of the token; stop after the mantissa
+  }
+  const std::from_chars_result result =
+      std::from_chars(text.data(), text.data() + i, parsed.value);
+  // The scan above is exactly the from_chars grammar, so the full token
+  // parses unless its value does not fit a double.
+  parsed.out_of_range = result.ec == std::errc::result_out_of_range;
+  parsed.length = i;
+  return parsed;
 }
 
 }  // namespace aapc

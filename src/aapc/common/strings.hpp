@@ -45,4 +45,26 @@ std::string format_size(std::uint64_t bytes);
 /// Fixed-precision double rendering ("12.34").
 std::string format_double(double value, int precision);
 
+/// Shortest decimal rendering that parses back to exactly `value`
+/// (std::to_chars). Locale-independent; finite values are valid JSON
+/// number tokens.
+std::string format_double_roundtrip(double value);
+
+/// Result of parse_json_number: `length` characters of the input were
+/// consumed (0 = the input does not start with a JSON number), and the
+/// token's value was `out_of_range` when it overflows or underflows a
+/// double.
+struct ParsedNumber {
+  double value = 0;
+  std::size_t length = 0;
+  bool out_of_range = false;
+};
+
+/// Parses a number token at the *start* of `text` with the JSON
+/// grammar: -?digits(.digits)?([eE][+-]?digits)?. Locale-independent
+/// (std::from_chars) — the decimal separator is always '.', and the
+/// hex/infinity/NaN spellings accepted by strtod are rejected. No
+/// whitespace is skipped.
+ParsedNumber parse_json_number(std::string_view text);
+
 }  // namespace aapc

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "aapc/common/error.hpp"
+#include "aapc/common/strings.hpp"
 
 namespace aapc::faults {
 
@@ -229,17 +230,6 @@ std::vector<Rank> ranks_crashed_at(const FaultPlan& plan, SimTime t) {
 
 namespace {
 
-/// Shortest decimal that round-trips a double (%.17g is always exact;
-/// try shorter forms first for readable files).
-std::string format_roundtrip(double value) {
-  char buffer[40];
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
-}
-
 /// Minimal recursive-descent reader for exactly the fault-plan grammar
 /// (objects with known keys, arrays, numbers, short strings). Unknown
 /// keys are rejected so format drift fails loudly — same policy as
@@ -283,13 +273,35 @@ class Reader {
 
   double number() {
     skip_space();
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(begin, &end);
-    AAPC_REQUIRE(end != begin,
+    // Strict JSON-grammar scan + std::from_chars: locale-independent
+    // (strtod honours LC_NUMERIC and accepts "inf"/"nan"/hex, none of
+    // which are JSON) and overflow is reported instead of saturating
+    // silently to HUGE_VAL.
+    const ParsedNumber parsed = parse_json_number(text_.substr(pos_));
+    AAPC_REQUIRE(parsed.length > 0,
                  "fault plan JSON: expected number at offset " << pos_);
-    pos_ += static_cast<std::size_t>(end - begin);
-    return value;
+    AAPC_REQUIRE(!parsed.out_of_range,
+                 "fault plan JSON: number at offset "
+                     << pos_ << " is out of range for a double: "
+                     << text_.substr(pos_, parsed.length));
+    pos_ += parsed.length;
+    return parsed.value;
+  }
+
+  /// A number that must be an integer representable in int32 (the
+  /// "link" / "rank" fields) — rejects 1.5, 1e12, -2^40 and friends
+  /// instead of letting a narrowing cast mangle them.
+  std::int32_t int32_value(const char* field) {
+    skip_space();
+    const std::size_t at = pos_;
+    const double value = number();
+    AAPC_REQUIRE(std::nearbyint(value) == value &&
+                     value >= std::numeric_limits<std::int32_t>::min() &&
+                     value <= std::numeric_limits<std::int32_t>::max(),
+                 "fault plan JSON: '" << field << "' at offset " << at
+                                      << " must be a 32-bit integer, got "
+                                      << value);
+    return static_cast<std::int32_t>(value);
   }
 
   void finish() {
@@ -320,16 +332,16 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
     const FaultEvent& event = plan.events[i];
     if (i > 0) os << ',';
     os << "{\"kind\":\"" << kind_name(event.kind) << "\",\"time_ms\":"
-       << format_roundtrip(to_milliseconds(event.when));
+       << format_double_roundtrip(to_milliseconds(event.when));
     if (is_link_event(event.kind)) {
       os << ",\"link\":" << event.link;
       if (event.kind == FaultKind::kLinkDegrade) {
-        os << ",\"factor\":" << format_roundtrip(event.factor);
+        os << ",\"factor\":" << format_double_roundtrip(event.factor);
       }
     } else {
       os << ",\"rank\":" << event.rank;
       if (event.kind == FaultKind::kNodeSlowdown) {
-        os << ",\"factor\":" << format_roundtrip(event.factor);
+        os << ",\"factor\":" << format_double_roundtrip(event.factor);
       }
     }
     os << '}';
@@ -363,9 +375,9 @@ FaultPlan fault_plan_from_json(std::string_view json) {
             event.when = milliseconds(reader.number());
             saw_time = true;
           } else if (name == "link") {
-            event.link = static_cast<std::int32_t>(reader.number());
+            event.link = reader.int32_value("link");
           } else if (name == "rank") {
-            event.rank = static_cast<Rank>(reader.number());
+            event.rank = static_cast<Rank>(reader.int32_value("rank"));
           } else if (name == "factor") {
             event.factor = reader.number();
           } else {

@@ -1,5 +1,6 @@
 #include "aapc/harness/experiment.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
 
@@ -8,8 +9,30 @@
 #include "aapc/common/strings.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
+#include "aapc/obs/exposition.hpp"
 
 namespace aapc::harness {
+
+std::string RunReport::to_json() const {
+  std::string escaped;
+  for (const char c : title) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+      escaped.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      escaped += buffer;
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  // obs::to_json renders {"metrics":[...]}; splice the title ahead of
+  // the metrics key so the array stays byte-identical to the obs form.
+  const std::string metrics_json = obs::to_json(metrics);
+  return "{\"title\":\"" + escaped + "\"," + metrics_json.substr(1);
+}
 
 TextTable ExperimentReport::completion_table() const {
   TextTable table;
@@ -119,14 +142,24 @@ ExperimentReport run_experiment(const topology::Topology& topo,
   for (const NamedAlgorithm& algo : algorithms) {
     report.algorithms.push_back(algo.name);
   }
+  // Every run of the sweep exports into one registry — the caller's if
+  // ExperimentConfig wired one in, else a sweep-local one — and the
+  // final snapshot ships in the report.
+  obs::Registry sweep_registry;
+  ExperimentConfig metered = config;
+  if (metered.exec.metrics == nullptr) {
+    metered.exec.metrics = &sweep_registry;
+  }
   for (const Bytes msize : config.msizes) {
     std::vector<RunResult> row;
     row.reserve(algorithms.size());
     for (const NamedAlgorithm& algo : algorithms) {
-      row.push_back(run_algorithm(topo, algo, msize, config));
+      row.push_back(run_algorithm(topo, algo, msize, metered));
     }
     report.results.push_back(std::move(row));
   }
+  report.telemetry.title = title;
+  report.telemetry.metrics = metered.exec.metrics->snapshot();
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include "aapc/lowering/lower.hpp"
 #include "aapc/mpisim/executor.hpp"
 #include "aapc/mpisim/program.hpp"
+#include "aapc/obs/metrics.hpp"
 #include "aapc/topology/topology.hpp"
 
 namespace aapc::harness {
@@ -46,6 +47,19 @@ struct RunResult {
   std::int64_t messages = 0;   // matched point-to-point messages
 };
 
+/// Telemetry of one sweep: every series the runs exported into the
+/// experiment's registry (aapc_executor_*, aapc_simnet_* /
+/// aapc_packet_*), snapshot once when the sweep finishes.
+struct RunReport {
+  std::string title;
+  obs::RegistrySnapshot metrics;
+
+  /// {"title":"...","metrics":[...]} — the metrics array is exactly
+  /// obs::to_json's, so obs::snapshot_from_json accepts the "metrics"
+  /// portion unchanged.
+  std::string to_json() const;
+};
+
 /// A full sweep over algorithms x message sizes on one topology.
 struct ExperimentReport {
   std::string title;
@@ -53,6 +67,11 @@ struct ExperimentReport {
   std::vector<Bytes> msizes;
   std::vector<std::string> algorithms;
   std::vector<std::vector<RunResult>> results;  // [msize][algorithm]
+  /// Aggregated run telemetry (see RunReport). When
+  /// ExperimentConfig::exec.metrics is set the series also accumulate
+  /// into that caller-owned registry; otherwise a sweep-local registry
+  /// backs this snapshot.
+  RunReport telemetry;
 
   /// Paper-style completion table: one row per msize, ms per algorithm.
   TextTable completion_table() const;

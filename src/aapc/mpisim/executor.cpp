@@ -12,6 +12,9 @@
 #include "aapc/common/log.hpp"
 #include "aapc/common/rng.hpp"
 #include "aapc/mpisim/network_backend.hpp"
+#include "aapc/obs/metrics.hpp"
+#include "aapc/packetsim/metrics.hpp"
+#include "aapc/simnet/metrics.hpp"
 
 namespace aapc::mpisim {
 
@@ -120,6 +123,9 @@ struct FlowBinding {
   std::int32_t attempts = 0;
   /// Integrity-ledger entry stamped when the transfer matched.
   DeliveryLedger::EntryId ledger_entry = -1;
+  /// Flow activation time of this attempt (metrics: per-transfer
+  /// duration).
+  SimTime start = 0;
 };
 
 }  // namespace
@@ -211,6 +217,23 @@ ExecutionResult Executor::run(const ProgramSet& set) {
   result.rank_finish.assign(static_cast<std::size_t>(ranks), 0);
   result.fault_markers = exec_params_.fault_markers;
 
+  // Pre-resolved metric handles: registration is mutex-guarded, so do
+  // it once up front — the event loop then records through relaxed
+  // atomics only. With metrics == nullptr the loop stays on the
+  // metrics-free path.
+  obs::Registry* const metrics = exec_params_.metrics;
+  obs::Histogram* transfer_seconds = nullptr;
+  obs::Histogram* sync_wait_seconds = nullptr;
+  std::int64_t sync_message_count = 0;
+  if (metrics != nullptr) {
+    transfer_seconds = &metrics->histogram(
+        "aapc_executor_transfer_seconds",
+        "Drain time of one transfer attempt (flow activation to drain)");
+    sync_wait_seconds = &metrics->histogram(
+        "aapc_executor_sync_wait_seconds",
+        "Time sync-token receivers spent blocked past their post");
+  }
+
   // Transfer watchdog: min-heap of (deadline, flow) over in-flight
   // transfers, only populated when the watchdog is enabled. Entries of
   // flows that drained are skipped lazily.
@@ -234,7 +257,7 @@ ExecutionResult Executor::run(const ProgramSet& set) {
     flow_bindings.emplace(flow,
                           FlowBinding{send_rank, send_req, recv_rank,
                                       recv_req, trace_index, attempts,
-                                      ledger_entry});
+                                      ledger_entry, start});
     if (exec_params_.transfer_timeout > 0) {
       watchdog.emplace_back(start + exec_params_.transfer_timeout, flow);
       std::push_heap(watchdog.begin(), watchdog.end(), kWatchdogOrder);
@@ -264,6 +287,7 @@ ExecutionResult Executor::run(const ProgramSet& set) {
               0, entry);
     result.network_bytes += static_cast<double>(send.bytes);
     ++result.message_count;
+    if (send.tag >= kSyncTag) ++sync_message_count;
   };
 
   auto request_complete = [&](const RankCtx& rank_ctx, RequestId id) {
@@ -556,6 +580,13 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         record.end = drained;
         record.delivered = recv.completion;
       }
+      if (transfer_seconds != nullptr) {
+        transfer_seconds->observe(drained - binding.start);
+        if (recv.tag >= kSyncTag) {
+          sync_wait_seconds->observe(
+              std::max(0.0, drained - recv.post_ready));
+        }
+      }
       enqueue(binding.send_rank);
       enqueue(binding.recv_rank);
       flow_bindings.erase(it);
@@ -665,6 +696,51 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                    [](const FaultMarker& a, const FaultMarker& b) {
                      return a.time < b.time;
                    });
+  if (metrics != nullptr) {
+    metrics->counter("aapc_executor_runs_total", "Program-set executions")
+        .inc();
+    const char* messages_help =
+        "Matched point-to-point transfers, by kind (data payload vs "
+        "pair-wise synchronization tokens)";
+    metrics
+        ->counter("aapc_executor_messages_total", messages_help,
+                  {{"kind", "data"}})
+        .inc(result.message_count - sync_message_count);
+    metrics
+        ->counter("aapc_executor_messages_total", messages_help,
+                  {{"kind", "sync"}})
+        .inc(sync_message_count);
+    metrics
+        ->counter("aapc_executor_transfer_timeouts_total",
+                  "Transfers the watchdog timed out")
+        .inc(result.transfer_timeouts);
+    metrics
+        ->counter("aapc_executor_transfer_retries_total",
+                  "Watchdog reposts after a timeout")
+        .inc(result.transfer_retries);
+    metrics
+        ->histogram("aapc_executor_run_seconds",
+                    "Completion time of one program-set execution")
+        .observe(result.completion_time);
+    // The network model's own series, from whichever backend ran.
+    if (result.packet.used) {
+      packetsim::PacketResult packet;
+      packet.segments_sent = result.packet.segments_sent;
+      packet.segments_dropped = result.packet.segments_dropped;
+      packet.retransmissions = result.packet.retransmissions;
+      packet.segments_lost = result.packet.segments_lost;
+      packet.segments_corrupted = result.packet.segments_corrupted;
+      packet.peak_queue_occupancy = result.packet.peak_queue_occupancy;
+      packet.goodput_bytes_per_sec =
+          result.completion_time > 0
+              ? result.network_bytes / result.completion_time
+              : 0.0;
+      packetsim::publish_packet_result(*metrics, packet);
+    } else {
+      simnet::publish_network_stats(*metrics, result.network_stats,
+                                    result.completion_time);
+    }
+  }
   return result;
 }
 

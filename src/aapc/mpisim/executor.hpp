@@ -33,6 +33,10 @@
 #include "aapc/simnet/params.hpp"
 #include "aapc/topology/topology.hpp"
 
+namespace aapc::obs {
+class Registry;
+}  // namespace aapc::obs
+
 namespace aapc::mpisim {
 
 /// The run cannot make progress: every live rank is blocked and the
@@ -201,6 +205,14 @@ struct ExecutorParams {
   std::int32_t transfer_max_retries = 3;
   SimTime transfer_retry_backoff = milliseconds(5.0);
   double transfer_backoff_multiplier = 2.0;
+
+  /// Optional metrics sink: when set, the run exports the
+  /// aapc_executor_* series (runs, messages by kind, per-transfer and
+  /// sync-wait histograms, watchdog counters) plus the network model's
+  /// series (aapc_simnet_* / aapc_packet_*) into this registry — see
+  /// docs/OBSERVABILITY.md. nullptr (the default) records nothing and
+  /// keeps the event loop on the metrics-free path.
+  obs::Registry* metrics = nullptr;
 };
 
 class Executor {

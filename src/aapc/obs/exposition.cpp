@@ -1,0 +1,423 @@
+#include "aapc/obs/exposition.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/strings.hpp"
+
+namespace aapc::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// HELP-line escaping: backslash and newline only (quotes are legal).
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// {k="v",...} with an optional extra label appended (histogram `le`).
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += std::string(extra_key) + "=\"" + std::string(extra_value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict reader for the to_json grammar — same policy as
+/// faults::fault_plan_from_json: known keys only, numbers parsed
+/// locale-independently via common/strings parse_json_number.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_space();
+    AAPC_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                 "metrics JSON: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        AAPC_REQUIRE(pos_ < text_.size(),
+                     "metrics JSON: dangling escape at offset " << pos_);
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            AAPC_REQUIRE(pos_ + 4 <= text_.size(),
+                         "metrics JSON: truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              unsigned digit = 0;
+              if (h >= '0' && h <= '9') {
+                digit = static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                digit = static_cast<unsigned>(h - 'a') + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                digit = static_cast<unsigned>(h - 'A') + 10;
+              } else {
+                throw InvalidArgument("metrics JSON: bad \\u escape");
+              }
+              code = code * 16 + digit;
+            }
+            AAPC_REQUIRE(code <= 0x7f,
+                         "metrics JSON: only ASCII \\u escapes supported");
+            c = static_cast<char>(code);
+            break;
+          }
+          default:
+            throw InvalidArgument("metrics JSON: unknown escape");
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string key() {
+    std::string out = string_value();
+    expect(':');
+    return out;
+  }
+
+  /// One number token: the double value plus its raw text, so callers
+  /// that need exact 64-bit integers (counter values can exceed 2^53,
+  /// where a double round-trip silently rounds) can reparse the text.
+  struct NumberToken {
+    std::string text;
+    double value = 0;
+  };
+
+  NumberToken number_token() {
+    skip_space();
+    const ParsedNumber parsed = parse_json_number(text_.substr(pos_));
+    AAPC_REQUIRE(parsed.length > 0,
+                 "metrics JSON: expected number at offset " << pos_);
+    AAPC_REQUIRE(!parsed.out_of_range,
+                 "metrics JSON: number out of range at offset " << pos_);
+    NumberToken token{std::string(text_.substr(pos_, parsed.length)),
+                      parsed.value};
+    pos_ += parsed.length;
+    return token;
+  }
+
+  double number() { return number_token().value; }
+
+  std::int64_t integer() {
+    const double value = number();
+    const auto as_int = static_cast<std::int64_t>(value);
+    AAPC_REQUIRE(static_cast<double>(as_int) == value,
+                 "metrics JSON: expected integer, got " << value);
+    return as_int;
+  }
+
+  void finish() {
+    skip_space();
+    AAPC_REQUIRE(pos_ == text_.size(),
+                 "metrics JSON: trailing content at offset " << pos_);
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_prometheus_text(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  std::string open_block;  // metric name whose HELP/TYPE was emitted last
+  for (const SeriesSnapshot& s : snapshot.series) {
+    if (s.name != open_block) {
+      if (!s.help.empty()) {
+        os << "# HELP " << s.name << ' ' << escape_help(s.help) << '\n';
+      }
+      os << "# TYPE " << s.name << ' ' << metric_type_name(s.type) << '\n';
+      open_block = s.name;
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        os << s.name << label_block(s.labels) << ' ' << s.counter << '\n';
+        break;
+      case MetricType::kGauge:
+        os << s.name << label_block(s.labels) << ' '
+           << format_double_roundtrip(s.gauge) << '\n';
+        break;
+      case MetricType::kHistogram: {
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
+          cumulative += s.histogram.buckets[i];
+          const std::string le =
+              i < s.histogram.bounds.size()
+                  ? format_double_roundtrip(s.histogram.bounds[i])
+                  : "+Inf";
+          os << s.name << "_bucket" << label_block(s.labels, "le", le) << ' '
+             << cumulative << '\n';
+        }
+        os << s.name << "_sum" << label_block(s.labels) << ' '
+           << format_double_roundtrip(s.histogram.sum) << '\n';
+        os << s.name << "_count" << label_block(s.labels) << ' '
+           << s.histogram.count << '\n';
+        os << s.name << "_max" << label_block(s.labels) << ' '
+           << format_double_roundtrip(s.histogram.max) << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  for (std::size_t i = 0; i < snapshot.series.size(); ++i) {
+    const SeriesSnapshot& s = snapshot.series[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
+       << metric_type_name(s.type) << "\"";
+    if (!s.help.empty()) {
+      os << ",\"help\":\"" << json_escape(s.help) << "\"";
+    }
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      for (std::size_t l = 0; l < s.labels.size(); ++l) {
+        if (l > 0) os << ',';
+        os << '"' << json_escape(s.labels[l].first) << "\":\""
+           << json_escape(s.labels[l].second) << '"';
+      }
+      os << '}';
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        os << ",\"value\":" << s.counter;
+        break;
+      case MetricType::kGauge:
+        os << ",\"value\":" << format_double_roundtrip(s.gauge);
+        break;
+      case MetricType::kHistogram: {
+        os << ",\"count\":" << s.histogram.count
+           << ",\"sum\":" << format_double_roundtrip(s.histogram.sum)
+           << ",\"max\":" << format_double_roundtrip(s.histogram.max)
+           << ",\"bounds\":[";
+        for (std::size_t b = 0; b < s.histogram.bounds.size(); ++b) {
+          if (b > 0) os << ',';
+          os << format_double_roundtrip(s.histogram.bounds[b]);
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t b = 0; b < s.histogram.buckets.size(); ++b) {
+          if (b > 0) os << ',';
+          os << s.histogram.buckets[b];
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+RegistrySnapshot snapshot_from_json(std::string_view json) {
+  Reader reader(json);
+  RegistrySnapshot snapshot;
+  reader.expect('{');
+  bool saw_metrics = false;
+  do {
+    const std::string field = reader.key();
+    AAPC_REQUIRE(field == "metrics",
+                 "metrics JSON: unknown field '" << field << "'");
+    saw_metrics = true;
+    reader.expect('[');
+    if (!reader.consume(']')) {
+      do {
+        reader.expect('{');
+        SeriesSnapshot s;
+        std::string type_name;
+        Reader::NumberToken value_token;
+        bool saw_value = false;
+        do {
+          const std::string name = reader.key();
+          if (name == "name") {
+            s.name = reader.string_value();
+          } else if (name == "type") {
+            type_name = reader.string_value();
+          } else if (name == "help") {
+            s.help = reader.string_value();
+          } else if (name == "labels") {
+            reader.expect('{');
+            do {
+              const std::string label_key = reader.key();
+              s.labels.emplace_back(label_key, reader.string_value());
+            } while (reader.consume(','));
+            reader.expect('}');
+          } else if (name == "value") {
+            // Deferred: counters reparse the raw text as int64 once the
+            // type is known (a double round-trip rounds above 2^53).
+            value_token = reader.number_token();
+            saw_value = true;
+          } else if (name == "count") {
+            s.histogram.count = reader.integer();
+          } else if (name == "sum") {
+            s.histogram.sum = reader.number();
+          } else if (name == "max") {
+            s.histogram.max = reader.number();
+          } else if (name == "bounds") {
+            reader.expect('[');
+            if (!reader.consume(']')) {
+              do {
+                s.histogram.bounds.push_back(reader.number());
+              } while (reader.consume(','));
+              reader.expect(']');
+            }
+          } else if (name == "buckets") {
+            reader.expect('[');
+            if (!reader.consume(']')) {
+              do {
+                s.histogram.buckets.push_back(reader.integer());
+              } while (reader.consume(','));
+              reader.expect(']');
+            }
+          } else {
+            throw InvalidArgument("metrics JSON: unknown field '" + name +
+                                  "'");
+          }
+        } while (reader.consume(','));
+        reader.expect('}');
+        if (type_name == "counter") {
+          s.type = MetricType::kCounter;
+          if (saw_value) {
+            const char* first = value_token.text.data();
+            const char* last = first + value_token.text.size();
+            const auto [end, ec] =
+                std::from_chars(first, last, s.counter);
+            AAPC_REQUIRE(ec == std::errc() && end == last,
+                         "metrics JSON: counter '"
+                             << s.name << "' value is not a 64-bit integer: "
+                             << value_token.text);
+          }
+        } else if (type_name == "gauge") {
+          s.type = MetricType::kGauge;
+          if (saw_value) s.gauge = value_token.value;
+        } else if (type_name == "histogram") {
+          s.type = MetricType::kHistogram;
+          AAPC_REQUIRE(
+              s.histogram.buckets.size() == s.histogram.bounds.size() + 1,
+              "metrics JSON: histogram '"
+                  << s.name << "' has " << s.histogram.buckets.size()
+                  << " buckets for " << s.histogram.bounds.size()
+                  << " bounds");
+        } else {
+          throw InvalidArgument("metrics JSON: unknown type '" + type_name +
+                                "'");
+        }
+        AAPC_REQUIRE(!s.name.empty(), "metrics JSON: series missing 'name'");
+        snapshot.series.push_back(std::move(s));
+      } while (reader.consume(','));
+      reader.expect(']');
+    }
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.finish();
+  AAPC_REQUIRE(saw_metrics, "metrics JSON: missing 'metrics'");
+  return snapshot;
+}
+
+}  // namespace aapc::obs

@@ -1,0 +1,36 @@
+// Exporters for obs::RegistrySnapshot: Prometheus-style text
+// exposition and a JSON snapshot (plus its parser, so snapshots can be
+// round-tripped by tests and validated by CI smokes).
+//
+// Formats are documented in docs/OBSERVABILITY.md. Both exporters are
+// locale-independent: numbers are rendered with the shortest
+// round-tripping decimal form (common/strings.hpp,
+// format_double_roundtrip), so an exported snapshot parses back to
+// bit-identical values.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "aapc/obs/metrics.hpp"
+
+namespace aapc::obs {
+
+/// Prometheus text exposition (format version 0.0.4): one `# HELP` /
+/// `# TYPE` block per metric name, one sample line per series;
+/// histograms expand into cumulative `_bucket{le=...}` samples plus
+/// `_sum` / `_count` (and a non-standard `_max` gauge sample, since
+/// the registry tracks the exact maximum).
+std::string to_prometheus_text(const RegistrySnapshot& snapshot);
+
+/// JSON snapshot: {"metrics":[{"name":...,"type":...,...}]}. Counters
+/// stay integral; histograms carry bounds, cumulative-free per-bucket
+/// counts, count, sum, and max. Parse back with snapshot_from_json.
+std::string to_json(const RegistrySnapshot& snapshot);
+
+/// Strict parser for to_json output (unknown fields are rejected, so
+/// format drift fails loudly). Throws InvalidArgument on malformed
+/// input.
+RegistrySnapshot snapshot_from_json(std::string_view json);
+
+}  // namespace aapc::obs

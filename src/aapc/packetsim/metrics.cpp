@@ -1,0 +1,38 @@
+#include "aapc/packetsim/metrics.hpp"
+
+namespace aapc::packetsim {
+
+void publish_packet_result(obs::Registry& registry,
+                           const PacketResult& result) {
+  registry
+      .counter("aapc_packet_segments_sent_total",
+               "Segments injected, retransmissions included")
+      .inc(result.segments_sent);
+  const char* drops_help = "Segments destroyed or discarded, by mechanism";
+  registry
+      .counter("aapc_packet_segments_dropped_total", drops_help,
+               {{"mechanism", "queue_overflow"}})
+      .inc(result.segments_dropped);
+  registry
+      .counter("aapc_packet_segments_dropped_total", drops_help,
+               {{"mechanism", "link_loss"}})
+      .inc(result.segments_lost);
+  registry
+      .counter("aapc_packet_segments_dropped_total", drops_help,
+               {{"mechanism", "corruption"}})
+      .inc(result.segments_corrupted);
+  registry
+      .counter("aapc_packet_retransmissions_total",
+               "Segments resent after a timeout or fast retransmit")
+      .inc(result.retransmissions);
+  registry
+      .gauge("aapc_packet_peak_queue_segments",
+             "High-water mark of the most congested port's queue")
+      .set_max(static_cast<double>(result.peak_queue_occupancy));
+  registry
+      .gauge("aapc_packet_goodput_bytes_per_second",
+             "Delivered payload bytes over the run makespan")
+      .set(result.goodput_bytes_per_sec);
+}
+
+}  // namespace aapc::packetsim

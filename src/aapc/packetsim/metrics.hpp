@@ -1,0 +1,21 @@
+// Publishes packet-simulator results into an obs::Registry under the
+// aapc_packet_* series (docs/OBSERVABILITY.md). Drops are labelled by
+// mechanism — queue_overflow (deterministic drop-tail), link_loss
+// (stochastic Bernoulli / Gilbert-Elliott) and corruption (checksum
+// discards) — so a loss sweep can tell congestion from injected faults
+// in one query. Publish-time only; the event loop never touches the
+// registry.
+#pragma once
+
+#include "aapc/obs/metrics.hpp"
+#include "aapc/packetsim/packet_network.hpp"
+
+namespace aapc::packetsim {
+
+/// Adds one run's PacketResult counters to `registry` (counters
+/// accumulate across runs sharing a registry; the peak-queue gauge
+/// takes the max).
+void publish_packet_result(obs::Registry& registry,
+                           const PacketResult& result);
+
+}  // namespace aapc::packetsim

@@ -35,13 +35,6 @@ std::uint32_t fingerprint_options(const lowering::LoweringOptions& opts,
   return static_cast<std::uint32_t>(h);
 }
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const auto index = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
 std::string format_seconds(double seconds) {
   std::ostringstream os;
   if (seconds >= 1.0) {
@@ -58,6 +51,13 @@ std::string format_seconds(double seconds) {
 
 std::uint32_t ScheduleService::size_class(Bytes msize) {
   AAPC_REQUIRE(msize >= 1, "message size must be >= 1 byte");
+  // Reject the upper bound here, at request entry: without this, a
+  // msize above 2^62 passes validation only to blow up in
+  // size_class_bytes (and the shift below would overflow first).
+  AAPC_REQUIRE(msize <= (Bytes{1} << 62),
+               "message size " << msize
+                               << " B exceeds the largest size class (2^62 "
+                                  "B); requests this large are unservable");
   std::uint32_t cls = 0;
   while ((Bytes{1} << cls) < msize) ++cls;
   return cls;
@@ -73,7 +73,23 @@ ScheduleService::ScheduleService(const ServiceOptions& options)
       options_fingerprint_(
           fingerprint_options(options.lowering, options.verify_compiled)),
       cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.compiler_threads, options.queue_capacity) {}
+      requests_(registry_.counter("aapc_service_requests_total",
+                                  "Compile requests received")),
+      coalesced_waits_(registry_.counter(
+          "aapc_service_coalesced_waits_total",
+          "Requests that waited on a concurrent compilation of their key")),
+      rejected_(registry_.counter(
+          "aapc_service_rejected_total",
+          "Requests rejected with ServiceOverloaded (pool backpressure)")),
+      hash_collisions_(registry_.counter(
+          "aapc_service_hash_collisions_total",
+          "Canonical-hash collisions compiled inline, uncached")),
+      compile_seconds_(registry_.histogram(
+          "aapc_service_compile_seconds",
+          "End-to-end compilation latency of one canonical artifact")),
+      pool_(options.compiler_threads, options.queue_capacity) {
+  latency_ring_.reserve(kLatencyReservoirCapacity);
+}
 
 CacheKey ScheduleService::cache_key(const Canonicalization& canon,
                                     Bytes msize) const {
@@ -130,13 +146,18 @@ double ScheduleService::retry_after_hint() const {
   // Expected time for the backlog to drain: (queued + executing) tasks
   // at the observed median compile cost over the worker count, floored
   // at a small constant so a cold service still suggests a real pause.
+  // The median comes from the bounded recent-latency ring via
+  // nth_element — this runs on the rejection path, so no full sort and
+  // no unbounded history under the lock.
   double median = 0.05;
   {
     const std::lock_guard<std::mutex> lock(latency_mutex_);
-    if (!compile_latencies_.empty()) {
-      std::vector<double> sorted = compile_latencies_;
-      std::sort(sorted.begin(), sorted.end());
-      median = std::max(percentile(sorted, 0.5), 1e-3);
+    if (!latency_ring_.empty()) {
+      std::vector<double> recent = latency_ring_;
+      const auto mid = recent.begin() +
+                       static_cast<std::ptrdiff_t>(recent.size() / 2);
+      std::nth_element(recent.begin(), mid, recent.end());
+      median = std::max(*mid, 1e-3);
     }
   }
   const CompilerPool::Stats pool = pool_.stats();
@@ -146,14 +167,25 @@ double ScheduleService::retry_after_hint() const {
 }
 
 void ScheduleService::record_compile_latency(double seconds) {
+  compile_seconds_.observe(seconds);
   const std::lock_guard<std::mutex> lock(latency_mutex_);
-  compile_latencies_.push_back(seconds);
+  if (latency_ring_.size() < kLatencyReservoirCapacity) {
+    latency_ring_.push_back(seconds);
+  } else {
+    latency_ring_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % kLatencyReservoirCapacity;
+  }
+}
+
+std::size_t ScheduleService::latency_reservoir_size() const {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  return latency_ring_.size();
 }
 
 CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
                                          Bytes msize) {
   const Clock::time_point start = Clock::now();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.inc();
   const Canonicalization canon = canonicalize(topo);
   const CacheKey key = cache_key(canon, msize);
   const Bytes class_bytes = size_class_bytes(key.size_class);
@@ -176,7 +208,7 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     const auto it = in_flight_.find(key);
     if (it != in_flight_.end()) {
       future = it->second;
-      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_waits_.inc();
     } else {
       // Double-check the cache before becoming the leader: another
       // request may have published this key between our miss above and
@@ -221,7 +253,7 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
       // the in-flight marker goes away so a retry can submit afresh.
       // (submit only throws before taking ownership of the task, so the
       // promise is still ours to resolve here.)
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.inc();
       const double retry_after = retry_after_hint();
       ServiceOverloaded overloaded(
           std::string(saturated.what()) + " — retry after " +
@@ -241,7 +273,7 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     // 64-bit hash collision between two distinct canonical forms: the
     // in-flight compilation we waited on was for the other topology.
     // Serve correctness over throughput: compile inline, uncached.
-    hash_collisions_.fetch_add(1, std::memory_order_relaxed);
+    hash_collisions_.inc();
     AAPC_WARN("canonical hash collision (hash "
               << canon.hash << "); compiling inline without caching");
     entry = compile_entry(canon.canonical_form, class_bytes);
@@ -249,31 +281,66 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
   return finish(canon, std::move(entry), /*cache_hit=*/false, !leader, start);
 }
 
-MetricsSnapshot ScheduleService::metrics() const {
-  MetricsSnapshot snapshot;
-  snapshot.requests = requests_.load(std::memory_order_relaxed);
-  snapshot.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
-  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
-  snapshot.hash_collisions = hash_collisions_.load(std::memory_order_relaxed);
+void ScheduleService::sync_mirrors() const {
   const CacheStats cache = cache_.stats();
-  snapshot.cache_hits = cache.hits;
-  snapshot.cache_misses = cache.misses;
-  snapshot.cache_entries = cache.entries;
-  snapshot.cache_evictions = cache.evictions;
+  registry_
+      .counter("aapc_service_cache_hits_total",
+               "Requests served from the schedule cache")
+      .set_total(cache.hits);
+  registry_
+      .counter("aapc_service_cache_misses_total",
+               "Requests whose key was absent from the cache")
+      .set_total(cache.misses);
+  registry_
+      .counter("aapc_service_cache_evictions_total",
+               "Entries displaced by the shard LRU policy")
+      .set_total(cache.evictions);
+  registry_
+      .gauge("aapc_service_cache_entries",
+             "Compiled artifacts currently cached, all shards")
+      .set(static_cast<double>(cache.entries));
   const CompilerPool::Stats pool = pool_.stats();
-  snapshot.queue_depth = pool.queue_depth;
-  snapshot.peak_queue_depth = pool.peak_queue_depth;
-  {
-    const std::lock_guard<std::mutex> lock(latency_mutex_);
-    snapshot.compilations =
-        static_cast<std::int64_t>(compile_latencies_.size());
-    if (!compile_latencies_.empty()) {
-      std::vector<double> sorted = compile_latencies_;
-      std::sort(sorted.begin(), sorted.end());
-      snapshot.compile_p50_seconds = percentile(sorted, 0.5);
-      snapshot.compile_p95_seconds = percentile(sorted, 0.95);
-      snapshot.compile_max_seconds = sorted.back();
-    }
+  registry_
+      .gauge("aapc_service_queue_depth",
+             "Compilations queued but not yet executing")
+      .set(static_cast<double>(pool.queue_depth));
+  registry_
+      .gauge("aapc_service_peak_queue_depth",
+             "High-water mark of the compiler pool queue")
+      .set_max(static_cast<double>(pool.peak_queue_depth));
+}
+
+obs::RegistrySnapshot ScheduleService::metrics_snapshot() const {
+  sync_mirrors();
+  return registry_.snapshot();
+}
+
+MetricsSnapshot ScheduleService::metrics() const {
+  const obs::RegistrySnapshot snap = metrics_snapshot();
+  auto count = [&snap](std::string_view name) {
+    const obs::SeriesSnapshot* series = snap.find(name);
+    return series != nullptr ? series->counter : 0;
+  };
+  MetricsSnapshot snapshot;
+  snapshot.requests = count("aapc_service_requests_total");
+  snapshot.coalesced_waits = count("aapc_service_coalesced_waits_total");
+  snapshot.rejected = count("aapc_service_rejected_total");
+  snapshot.hash_collisions = count("aapc_service_hash_collisions_total");
+  snapshot.cache_hits = count("aapc_service_cache_hits_total");
+  snapshot.cache_misses = count("aapc_service_cache_misses_total");
+  snapshot.cache_evictions = count("aapc_service_cache_evictions_total");
+  snapshot.cache_entries =
+      static_cast<std::int64_t>(snap.value("aapc_service_cache_entries"));
+  snapshot.queue_depth =
+      static_cast<std::int64_t>(snap.value("aapc_service_queue_depth"));
+  snapshot.peak_queue_depth =
+      static_cast<std::int64_t>(snap.value("aapc_service_peak_queue_depth"));
+  if (const obs::SeriesSnapshot* compile =
+          snap.find("aapc_service_compile_seconds")) {
+    snapshot.compilations = compile->histogram.count;
+    snapshot.compile_p50_seconds = compile->histogram.quantile(0.5);
+    snapshot.compile_p95_seconds = compile->histogram.quantile(0.95);
+    snapshot.compile_max_seconds = compile->histogram.max;
   }
   return snapshot;
 }

@@ -36,6 +36,7 @@
 #include "aapc/common/table.hpp"
 #include "aapc/common/units.hpp"
 #include "aapc/lowering/lower.hpp"
+#include "aapc/obs/metrics.hpp"
 #include "aapc/service/canonical.hpp"
 #include "aapc/service/compiler_pool.hpp"
 #include "aapc/service/schedule_cache.hpp"
@@ -88,7 +89,10 @@ struct CompiledRoutine {
   double service_seconds = 0;
 };
 
-/// Point-in-time service counters (monotonic unless noted).
+/// Point-in-time service counters (monotonic unless noted). Assembled
+/// from the service's obs::Registry — the aapc_service_* series are
+/// the source of truth and this struct is a typed view over them
+/// (metrics_snapshot() exposes the raw registry for exporters).
 struct MetricsSnapshot {
   std::int64_t requests = 0;
   std::int64_t cache_hits = 0;
@@ -129,14 +133,25 @@ class ScheduleService {
   CompiledRoutine compile(const topology::Topology& topo, Bytes msize);
 
   MetricsSnapshot metrics() const;
+  /// Raw registry snapshot behind metrics(), with the cache/pool
+  /// mirrors freshly synced — feed this to obs::to_prometheus_text /
+  /// obs::to_json (the aapc_serviced --metrics-out path).
+  obs::RegistrySnapshot metrics_snapshot() const;
   const ServiceOptions& options() const { return options_; }
 
   /// Message sizes are bucketed into power-of-two classes: class c
   /// covers (2^(c-1), 2^c] bytes and compiles at the representative
   /// size 2^c, so near-equal sizes share one cache entry. Class 0 is
-  /// exactly 1 byte.
+  /// exactly 1 byte; the largest class is 62 (2^62 bytes — larger
+  /// requests are rejected up front with InvalidArgument).
   static std::uint32_t size_class(Bytes msize);
   static Bytes size_class_bytes(std::uint32_t size_class);
+
+  /// Recent compile latencies retained for retry_after_hint's median —
+  /// a bounded ring, never the full service history (exposed, with the
+  /// capacity, for the boundedness regression test).
+  static constexpr std::size_t kLatencyReservoirCapacity = 256;
+  std::size_t latency_reservoir_size() const;
 
   /// The cache key `compile` uses for a request (exposed for tests).
   CacheKey cache_key(const Canonicalization& canon, Bytes msize) const;
@@ -149,6 +164,9 @@ class ScheduleService {
                          std::chrono::steady_clock::time_point start) const;
   double retry_after_hint() const;
   void record_compile_latency(double seconds);
+  /// Mirrors the cache/pool counters (owned by those components) into
+  /// the registry so snapshots carry every service series.
+  void sync_mirrors() const;
 
   ServiceOptions options_;
   std::uint32_t options_fingerprint_;
@@ -159,13 +177,23 @@ class ScheduleService {
                      CacheKeyHash>
       in_flight_;
 
-  std::atomic<std::int64_t> requests_{0};
-  std::atomic<std::int64_t> coalesced_waits_{0};
-  std::atomic<std::int64_t> rejected_{0};
-  std::atomic<std::int64_t> hash_collisions_{0};
+  /// Source of truth for every aapc_service_* series. mutable: reads
+  /// (metrics_snapshot) sync mirror series, which registers them on
+  /// first use. Declared before the instrument references below and
+  /// before pool_ (whose tasks record into the histogram).
+  mutable obs::Registry registry_;
+  obs::Counter& requests_;
+  obs::Counter& coalesced_waits_;
+  obs::Counter& rejected_;
+  obs::Counter& hash_collisions_;
+  obs::Histogram& compile_seconds_;
 
+  /// Bounded ring of recent compile latencies (retry_after_hint's
+  /// median). latency_ring_ holds at most kLatencyReservoirCapacity
+  /// entries; latency_next_ is the overwrite cursor once full.
   mutable std::mutex latency_mutex_;
-  std::vector<double> compile_latencies_;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
 
   // Declared last on purpose: members are destroyed in reverse order,
   // and the pool's destructor drains and joins workers whose tasks

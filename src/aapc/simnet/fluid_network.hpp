@@ -29,6 +29,10 @@
 #include "aapc/simnet/params.hpp"
 #include "aapc/topology/topology.hpp"
 
+namespace aapc::obs {
+class Registry;
+}  // namespace aapc::obs
+
 namespace aapc::simnet {
 
 using FlowId = std::int64_t;
@@ -57,6 +61,14 @@ struct NetworkStats {
   /// simultaneously carried at least one flow. Progressive filling is
   /// linear in this, not in the topology size.
   std::int64_t max_active_rows = 0;
+  /// Flows that activated (began moving bytes), immediately or from the
+  /// pending heap. completed + canceled <= activated.
+  std::int64_t flows_activated = 0;
+  /// Integral over time of the active-row count (sum of dt * |active
+  /// rows| per drain step, O(1) per event). Divided by elapsed time it
+  /// is the mean number of simultaneously busy capacity rows — a
+  /// one-number congestion measure of the whole run.
+  double busy_row_seconds = 0;
 };
 
 class FluidNetwork {
@@ -128,6 +140,14 @@ class FluidNetwork {
   std::int64_t active_flow_count() const { return active_count_; }
 
   const NetworkStats& stats() const { return stats_; }
+
+  /// Exports this network's counters into `registry` under the
+  /// aapc_simnet_* series (docs/OBSERVABILITY.md): the NetworkStats
+  /// counters via simnet/metrics.hpp plus per-directed-edge
+  /// utilization over [0, now()]. Publish-time only — the hot path
+  /// never touches the registry. Call once, at the end of a run;
+  /// counters accumulate across networks sharing a registry.
+  void publish_metrics(obs::Registry& registry) const;
 
   /// Aggregate payload throughput over [0, now()]: total delivered bytes
   /// divided by elapsed time (bytes/sec).

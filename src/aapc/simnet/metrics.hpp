@@ -1,0 +1,21 @@
+// Publishes simnet's NetworkStats into an obs::Registry under the
+// aapc_simnet_* series (docs/OBSERVABILITY.md). Publish-time only: the
+// simulation hot path keeps its plain NetworkStats counters and the
+// registry is touched once, at the end of a run, so metrics cost
+// nothing while the event loop runs.
+#pragma once
+
+#include "aapc/common/units.hpp"
+#include "aapc/obs/metrics.hpp"
+#include "aapc/simnet/fluid_network.hpp"
+
+namespace aapc::simnet {
+
+/// Adds one run's NetworkStats to `registry` (counters accumulate
+/// across runs sharing a registry; high-water gauges take the max).
+/// `elapsed` is the simulated duration the stats cover (network
+/// now() / run completion time).
+void publish_network_stats(obs::Registry& registry, const NetworkStats& stats,
+                           SimTime elapsed);
+
+}  // namespace aapc::simnet

@@ -132,6 +132,73 @@ TEST_P(ParserFuzzTest, MutatedValidFaultPlanJson) {
   }
 }
 
+TEST(FaultPlanNumbersTest, OverflowAndLocaleShapedInputsReject) {
+  auto event_with = [](const std::string& fields) {
+    return "{\"events\":[{\"kind\":\"link_down\"," + fields + "}]}";
+  };
+  // A plain in-range plan parses.
+  EXPECT_NO_THROW(
+      faults::fault_plan_from_json(event_with("\"time_ms\":1.5,\"link\":3")));
+
+  // Out-of-range doubles must reject loudly, not saturate to HUGE_VAL
+  // (the old strtod path returned inf and only ERANGE — unchecked —
+  // flagged it).
+  for (const char* bad :
+       {"1e999", "-1e999", "1e308999", "12345678901234567890e999"}) {
+    EXPECT_THROW(faults::fault_plan_from_json(event_with(
+                     std::string("\"time_ms\":") + bad + ",\"link\":3")),
+                 InvalidArgument)
+        << bad;
+  }
+  // Subnormal-underflow magnitudes are also flagged out-of-range by
+  // from_chars; they must reject rather than silently flush.
+  EXPECT_THROW(faults::fault_plan_from_json(
+                   event_with("\"time_ms\":1e-999,\"link\":3")),
+               InvalidArgument);
+
+  // Locale-shaped and non-JSON numeric spellings that strtod happily
+  // accepted (or that a comma locale would mis-split) must all reject:
+  // the grammar is strict JSON now, independent of LC_NUMERIC.
+  for (const char* bad : {"1,5", "nan", "inf", "infinity", "0x1p3", "1.",
+                          ".5", "+1", "1e", "1e+"}) {
+    EXPECT_THROW(faults::fault_plan_from_json(event_with(
+                     std::string("\"time_ms\":") + bad + ",\"link\":3")),
+                 Error)
+        << bad;
+  }
+
+  // "link"/"rank" must be exact 32-bit integers: fractions and values
+  // past INT32_MAX used to be narrowing-cast into garbage ids.
+  for (const char* bad : {"1.5", "3000000000", "-3000000000", "1e12"}) {
+    EXPECT_THROW(faults::fault_plan_from_json(event_with(
+                     std::string("\"time_ms\":1,\"link\":") + bad)),
+                 InvalidArgument)
+        << bad;
+  }
+  EXPECT_THROW(
+      faults::fault_plan_from_json(
+          "{\"events\":[{\"kind\":\"node_crash\",\"time_ms\":1,"
+          "\"rank\":2.5}]}"),
+      InvalidArgument);
+
+  // Round trip of extreme-but-valid values stays exact through the
+  // shortest-round-trip formatter.
+  faults::FaultPlan plan;
+  plan.add(faults::FaultEvent::link_degrade(0.1 + 0.2, 7, 0.12345678901234567))
+      .add(faults::FaultEvent::node_slowdown(1e-9, 2, 1e9));
+  const faults::FaultPlan reparsed =
+      faults::fault_plan_from_json(faults::fault_plan_to_json(plan));
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    // The serialized time is milliseconds (x1e3 out, x1e-3 in), so the
+    // seconds value can move an ulp; the factor is serialized directly
+    // and must round-trip exactly.
+    EXPECT_NEAR(reparsed.events[i].when, plan.events[i].when,
+                1e-15 * plan.events[i].when);
+    EXPECT_EQ(reparsed.events[i].factor, plan.events[i].factor);
+  }
+}
+
 TEST_P(ParserFuzzTest, TruncatedInputsRejectCleanly) {
   // Every byte-length prefix of valid inputs: the classic
   // cut-off-mid-token parser crash. All three text formats.

@@ -5,7 +5,9 @@
 // executability of the rewritten programs on the caller's topology.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -238,6 +240,78 @@ TEST(ScheduleServiceTest, SizeClassMath) {
   EXPECT_EQ(ScheduleService::size_class(64_KiB + 1), 17u);
   EXPECT_EQ(ScheduleService::size_class_bytes(16), 64_KiB);
   EXPECT_THROW(ScheduleService::size_class(0), InvalidArgument);
+}
+
+TEST(ScheduleServiceTest, SizeClassRejectsOversizedRequests) {
+  // Regression: sizes above 2^62 used to pass entry validation and
+  // blow up later (size_class_bytes range check, or shift overflow in
+  // the class search loop). They must be rejected up front.
+  EXPECT_EQ(ScheduleService::size_class(Bytes{1} << 62), 62u);
+  EXPECT_EQ(ScheduleService::size_class((Bytes{1} << 62) - 1), 62u);
+  EXPECT_THROW(ScheduleService::size_class((Bytes{1} << 62) + 1),
+               InvalidArgument);
+  EXPECT_THROW(ScheduleService::size_class(std::numeric_limits<Bytes>::max()),
+               InvalidArgument);
+  try {
+    ScheduleService::size_class((Bytes{1} << 62) + 1);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("largest size class"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleServiceTest, CompileLatencyReservoirStaysBounded) {
+  // Regression: the latency buffer used to grow by one entry per
+  // compilation forever (and retry_after_hint fully sorted a copy of
+  // it under the metrics lock). It is now a fixed-capacity ring.
+  ServiceOptions options;
+  options.cache_capacity = 2;  // force continuous evictions/compiles
+  options.cache_shards = 1;
+  ScheduleService service(options);
+  std::vector<Topology> topologies;
+  for (int machines = 4; machines <= 9; ++machines) {
+    topologies.push_back(topology::make_single_switch(machines));
+  }
+  std::int64_t compiles = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const Topology& topo : topologies) {
+      service.compile(topo, 8_KiB);
+      ++compiles;
+      EXPECT_LE(service.latency_reservoir_size(),
+                ScheduleService::kLatencyReservoirCapacity);
+    }
+  }
+  // The tiny cache can hold 2 of 6 topologies: most requests recompile,
+  // yet the reservoir never exceeds its capacity while the metrics
+  // histogram still counts every compilation.
+  EXPECT_GT(service.metrics().compilations, 6);
+  EXPECT_EQ(service.latency_reservoir_size(),
+            std::min<std::size_t>(
+                static_cast<std::size_t>(service.metrics().compilations),
+                ScheduleService::kLatencyReservoirCapacity));
+}
+
+TEST(ScheduleServiceTest, MetricsSnapshotExposesRegistrySeries) {
+  ScheduleService service;
+  service.compile(topology::make_paper_figure1(), 8_KiB);
+  service.compile(topology::make_paper_figure1(), 8_KiB);  // cache hit
+  const obs::RegistrySnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.value("aapc_service_requests_total"), 2.0);
+  EXPECT_GE(snap.value("aapc_service_cache_hits_total"), 1.0);
+  // 2, not 1: the compiling request re-checks the cache after winning
+  // the in-flight race (the "late hit" path), and that lookup counts.
+  EXPECT_EQ(snap.value("aapc_service_cache_misses_total"), 2.0);
+  EXPECT_EQ(snap.value("aapc_service_cache_entries"), 1.0);
+  const obs::SeriesSnapshot* compile =
+      snap.find("aapc_service_compile_seconds");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->histogram.count, 1);
+  // The typed MetricsSnapshot is a view over the same registry.
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.requests, 2);
+  EXPECT_EQ(metrics.compilations, 1);
+  EXPECT_EQ(metrics.compile_max_seconds, compile->histogram.max);
 }
 
 TEST(ScheduleServiceTest, MetricsTableRenders) {

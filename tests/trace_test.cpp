@@ -349,6 +349,38 @@ TEST(TraceTest, ChromeJsonParsesAndRoundTripsEventCounts) {
   EXPECT_NEAR(events.back().numbers.at("ts"), 2500.0, 1e-6);
 }
 
+TEST(TraceTest, ChromeJsonEscapesBackslashesAndControlChars) {
+  // Labels exercising every escape class the renderer must handle:
+  // backslashes (alone and before a quote), embedded quotes, and the
+  // control range that only \uXXXX can express. Each must survive a
+  // render -> parse round trip byte-for-byte.
+  const std::vector<std::string> labels = {
+      "path\\with\\backslashes",
+      "backslash-then-quote \\\" tricky",
+      "trailing backslash \\",
+      std::string("nul\0inside", 10),
+      "\x01\x02\x1f unit separators",
+      "mixed \"q\" \\b\\ \t\n\r \x0b\x0c end",
+  };
+  std::vector<mpisim::FaultMarker> markers;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    markers.push_back(
+        mpisim::FaultMarker{0.001 * static_cast<double>(i + 1), labels[i]});
+  }
+  const std::string json =
+      to_chrome_json(std::vector<mpisim::MessageTrace>{}, markers);
+  // Raw control bytes must never reach the output; only their escapes.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control byte";
+  }
+  const std::vector<ChromeTraceParser::Event> events =
+      ChromeTraceParser(json).parse();
+  ASSERT_EQ(events.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(events[i].strings.at("name"), labels[i]) << "label " << i;
+  }
+}
+
 TEST(TraceTest, ChromeJsonMarkerOverloadMatchesBaseWhenEmpty) {
   const Topology topo = make_single_switch(3);
   const mpisim::ExecutionResult result =
