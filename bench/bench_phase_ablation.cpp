@@ -28,52 +28,39 @@ namespace {
 core::Schedule naive_group_sequential(const topology::Topology& topo) {
   const core::Decomposition dec = core::decompose(topo);
   const std::int32_t k = dec.subtree_count();
-  core::Schedule schedule;
-  std::int32_t phase = 0;
+  core::ScheduleBuilder builder;
+  std::int64_t phase = 0;
   for (std::int32_t i = 0; i < k; ++i) {
     for (std::int32_t j = 0; j < k; ++j) {
       if (i == j) continue;
       const auto pattern = core::broadcast_pattern(dec.subtree_size(i),
                                                    dec.subtree_size(j));
       for (std::size_t q = 0; q < pattern.size(); ++q) {
-        schedule.phases.resize(phase + static_cast<std::int32_t>(q) + 1);
-        const core::Message m{
-            dec.subtrees[i][pattern[q].sender],
-            dec.subtrees[j][pattern[q].receiver]};
-        schedule.phases[phase + q].push_back(m);
-        schedule.messages.push_back(core::ScheduledMessage{
-            m, static_cast<std::int32_t>(phase + q),
-            core::MessageScope::kGlobal});
+        builder.add(phase + static_cast<std::int64_t>(q),
+                    dec.subtrees[i][pattern[q].sender],
+                    dec.subtrees[j][pattern[q].receiver],
+                    core::MessageScope::kGlobal);
       }
-      phase += static_cast<std::int32_t>(pattern.size());
+      phase += static_cast<std::int64_t>(pattern.size());
     }
   }
   // Locals: one dedicated block of phases per subtree, all subtrees in
   // parallel (locals of different subtrees never contend).
-  std::int32_t local_block = 0;
+  std::int64_t local_block = 0;
   for (std::int32_t i = 0; i < k; ++i) {
     const std::int32_t mi = dec.subtree_size(i);
-    std::int32_t offset = 0;
+    std::int64_t offset = 0;
     for (std::int32_t a = 0; a < mi; ++a) {
       for (std::int32_t b = 0; b < mi; ++b) {
         if (a == b) continue;
-        schedule.phases.resize(
-            std::max<std::size_t>(schedule.phases.size(), phase + offset + 1));
-        const core::Message m{dec.subtrees[i][a], dec.subtrees[i][b]};
-        schedule.phases[phase + offset].push_back(m);
-        schedule.messages.push_back(core::ScheduledMessage{
-            m, phase + offset, core::MessageScope::kLocal});
+        builder.add(phase + offset, dec.subtrees[i][a], dec.subtrees[i][b],
+                    core::MessageScope::kLocal);
         ++offset;
       }
     }
     local_block = std::max(local_block, offset);
   }
-  std::sort(schedule.messages.begin(), schedule.messages.end(),
-            [](const core::ScheduledMessage& lhs,
-               const core::ScheduledMessage& rhs) {
-              return lhs.phase < rhs.phase;
-            });
-  return schedule;
+  return std::move(builder).build(phase + local_block);
 }
 
 }  // namespace

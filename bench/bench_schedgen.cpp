@@ -136,6 +136,34 @@ void BM_Decompose(benchmark::State& state) {
 }
 BENCHMARK(BM_Decompose)->Arg(32)->Arg(128);
 
+// Large-scale construction on fat trees: flat Figure-4 assignment vs
+// the hierarchical twin (arg 1: 0 = flat, 1 = hierarchical). Both paths
+// produce bit-identical schedules; the comparison isolates the cost of
+// the task decomposition itself. bench_schedgen_scale drives the
+// 2048/4096-rank points with the wall-clock gate.
+void BM_AssignFatTree(benchmark::State& state) {
+  const auto ranks = state.range(0);
+  const Topology topo =
+      ranks >= 1024 ? aapc::topology::make_fat_tree(8, 8, 16)
+      : ranks >= 256 ? aapc::topology::make_fat_tree(4, 8, 8)
+                     : aapc::topology::make_fat_tree(2, 4, 8);
+  const aapc::core::Decomposition dec = aapc::core::decompose(topo);
+  const bool hierarchical = state.range(1) != 0;
+  for (auto _ : state) {
+    if (hierarchical) {
+      benchmark::DoNotOptimize(
+          aapc::core::assign_messages_hierarchical(dec));
+    } else {
+      benchmark::DoNotOptimize(aapc::core::assign_messages(dec));
+    }
+  }
+  state.SetLabel(std::to_string(topo.machine_count()) + " machines " +
+                 (hierarchical ? "hierarchical" : "flat"));
+}
+BENCHMARK(BM_AssignFatTree)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -8,40 +8,6 @@
 
 namespace aapc::core {
 
-namespace {
-
-/// Accumulates messages into phases and the flat metadata list.
-class ScheduleBuilder {
- public:
-  explicit ScheduleBuilder(std::int64_t total_phases) {
-    schedule_.phases.resize(static_cast<std::size_t>(total_phases));
-  }
-
-  void add(std::int64_t phase, Rank src, Rank dst, MessageScope scope) {
-    AAPC_CHECK(phase >= 0 &&
-               phase < static_cast<std::int64_t>(schedule_.phases.size()));
-    AAPC_CHECK(src != dst);
-    const Message message{src, dst};
-    schedule_.phases[static_cast<std::size_t>(phase)].push_back(message);
-    schedule_.messages.push_back(
-        ScheduledMessage{message, static_cast<std::int32_t>(phase), scope});
-  }
-
-  Schedule take() {
-    std::stable_sort(schedule_.messages.begin(), schedule_.messages.end(),
-                     [](const ScheduledMessage& lhs,
-                        const ScheduledMessage& rhs) {
-                       return lhs.phase < rhs.phase;
-                     });
-    return std::move(schedule_);
-  }
-
- private:
-  Schedule schedule_;
-};
-
-}  // namespace
-
 Schedule assign_messages(const Decomposition& dec,
                          const AssignmentOptions& options) {
   const std::int32_t k = dec.subtree_count();
@@ -52,7 +18,9 @@ Schedule assign_messages(const Decomposition& dec,
   const std::int64_t P = global.total_phases();
   const std::int32_t m0 = sizes[0];
 
-  ScheduleBuilder builder(P);
+  const std::int64_t machine_total = dec.machine_count();
+  ScheduleBuilder builder;
+  builder.reserve(machine_total * (machine_total - 1));
   auto rank_at = [&](std::int32_t subtree, std::int32_t index) -> Rank {
     return dec.subtrees[subtree][static_cast<std::size_t>(index)];
   };
@@ -195,13 +163,11 @@ Schedule assign_messages(const Decomposition& dec,
     }
   }
 
-  Schedule schedule = builder.take();
-  const std::int64_t machines = dec.machine_count();
-  AAPC_CHECK_MSG(schedule.message_count() == machines * (machines - 1),
-                 "schedule holds " << schedule.message_count() << " of "
-                                   << machines * (machines - 1)
+  AAPC_CHECK_MSG(builder.staged_count() == machine_total * (machine_total - 1),
+                 "schedule holds " << builder.staged_count() << " of "
+                                   << machine_total * (machine_total - 1)
                                    << " AAPC messages");
-  return schedule;
+  return std::move(builder).build(P);
 }
 
 }  // namespace aapc::core

@@ -9,23 +9,23 @@ namespace aapc::core {
 namespace {
 
 /// Machine ranks in the component containing `start` after deleting
-/// `blocked` from the tree; ascending rank order.
+/// `blocked` from the tree; ascending rank order. Trees need no visited
+/// set — tracking the arrival edge suffices — so collecting every
+/// branch of a node is O(component) total instead of O(V) per branch
+/// (the old per-branch `seen` arrays made a 4096-machine star
+/// quadratic: one |V|-sized allocation and fill per branch).
 std::vector<Rank> component_machines(const Topology& topo, NodeId start,
                                      NodeId blocked) {
   std::vector<Rank> machines;
-  std::vector<NodeId> stack{start};
-  std::vector<char> seen(topo.node_count(), 0);
-  seen[start] = 1;
-  seen[blocked] = 1;
+  machines.reserve(
+      static_cast<std::size_t>(topo.machines_beyond(blocked, start)));
+  std::vector<std::pair<NodeId, NodeId>> stack{{start, blocked}};
   while (!stack.empty()) {
-    const NodeId u = stack.back();
+    const auto [u, from] = stack.back();
     stack.pop_back();
     if (topo.is_machine(u)) machines.push_back(topo.rank_of(u));
     for (const NodeId w : topo.neighbors(u)) {
-      if (!seen[w]) {
-        seen[w] = 1;
-        stack.push_back(w);
-      }
+      if (w != from) stack.emplace_back(w, u);
     }
   }
   std::sort(machines.begin(), machines.end());
@@ -65,7 +65,9 @@ Decomposition decompose(const Topology& topo) {
     std::int32_t machine_branches = 0;
     for (const NodeId w : topo.neighbors(u)) {
       if (w == v) continue;
-      if (!component_machines(topo, w, u).empty()) {
+      // O(1) per branch via the rooted subtree counts; a BFS here made
+      // the root walk quadratic on deep or wide trees.
+      if (topo.machines_beyond(u, w) > 0) {
         ++machine_branches;
         sole_branch = w;
       }

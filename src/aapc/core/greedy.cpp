@@ -140,7 +140,6 @@ Schedule greedy_schedule(const topology::Topology& topo,
 
   // First-fit: per phase, a bitmap of used directed edges.
   std::vector<std::vector<char>> phase_edges;  // [phase][edge]
-  Schedule schedule;
   std::vector<std::int32_t> assigned_phase(pattern.size(), -1);
   for (const std::size_t index : order) {
     const auto& path = paths[index];
@@ -149,7 +148,6 @@ Schedule greedy_schedule(const topology::Topology& topo,
       if (phase == phase_edges.size()) {
         phase_edges.emplace_back(
             static_cast<std::size_t>(topo.directed_edge_count()), 0);
-        schedule.phases.emplace_back();
         break;
       }
       bool free = true;
@@ -164,21 +162,18 @@ Schedule greedy_schedule(const topology::Topology& topo,
     for (const topology::EdgeId e : path) {
       phase_edges[phase][static_cast<std::size_t>(e)] = 1;
     }
-    schedule.phases[phase].push_back(pattern[index]);
     assigned_phase[index] = static_cast<std::int32_t>(phase);
   }
 
-  // Flat metadata in phase order (input order within a phase).
+  // Stage in input order so each phase keeps input order, as before.
+  ScheduleBuilder builder;
+  builder.reserve(static_cast<std::int64_t>(pattern.size()));
   for (std::size_t index = 0; index < pattern.size(); ++index) {
-    schedule.messages.push_back(ScheduledMessage{
-        pattern[index], assigned_phase[index], MessageScope::kGlobal});
+    builder.add(assigned_phase[index], pattern[index].src, pattern[index].dst,
+                MessageScope::kGlobal);
   }
-  std::stable_sort(schedule.messages.begin(), schedule.messages.end(),
-                   [](const ScheduledMessage& lhs,
-                      const ScheduledMessage& rhs) {
-                     return lhs.phase < rhs.phase;
-                   });
-  return schedule;
+  return std::move(builder)
+      .build(static_cast<std::int64_t>(phase_edges.size()));
 }
 
 }  // namespace aapc::core

@@ -1,0 +1,65 @@
+// Hierarchical message assignment (§4 at scale).
+//
+// The flat assign_messages walks the six Figure-4 steps in one pass over
+// a shared builder. This module restates the algorithm as a set of
+// *emission units* — per-subtree and per-subtree-pair message groups
+// whose phase placement is closed-form — scheduled independently and
+// merged across the root by a stable counting sort into the phase arena.
+//
+// Unit decomposition (canonical order = the flat staging order):
+//   step 1:  one unit per group t0 → tj          (root subtree sends)
+//   step 2:  one unit per group ti → t0          (sends into t0)
+//   step 3:  one unit: locals inside t0          (embedded, §4.3)
+//   step 4:  one unit per group ti → tj, i > j   (broadcast pattern)
+//   step 5:  one unit per subtree ti's locals    (embedded in ti → t(i-1))
+//   step 6:  one unit per group ti → tj, i < j   (pattern choice free)
+//
+// The only cross-unit data — the per-phase t0 sender/receiver mapping
+// (Table 3) — is closed-form and precomputed once, read-only. Every unit
+// therefore knows its exact slice of the staged arena up front, so units
+// can be blocked into tasks and run on any thread pool: the bytes
+// written are identical regardless of execution order or thread count,
+// which is what makes the parallel path bit-identical to the flat one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aapc/core/assign.hpp"
+#include "aapc/core/decompose.hpp"
+#include "aapc/core/schedule.hpp"
+
+namespace aapc::core {
+
+/// One parallelizable piece of schedule construction. Must not throw
+/// (pool workers have no exception channel); failures are recorded
+/// internally and rethrown after the join.
+using Task = std::function<void()>;
+
+/// Executes every task and returns once all of them have finished.
+/// Tasks are independent; any order and any number of threads is
+/// correct. nullptr means "run inline on the calling thread".
+using TaskRunner = std::function<void(const std::vector<Task>&)>;
+
+struct HierarchicalOptions {
+  AssignmentOptions assignment;
+
+  /// Target staged messages per task; 0 picks a default that yields a
+  /// few tasks per step. Units are never split, so a single huge group
+  /// can exceed the target.
+  std::int64_t messages_per_task = 0;
+};
+
+/// Hierarchical/parallel twin of assign_messages: same Decomposition in,
+/// bit-identical Schedule out. `runner` distributes the emission tasks;
+/// the merge (counting sort by phase) runs on the calling thread.
+Schedule assign_messages_hierarchical(const Decomposition& dec,
+                                      const AssignmentOptions& options = {},
+                                      const TaskRunner& runner = nullptr);
+
+Schedule assign_messages_hierarchical(const Decomposition& dec,
+                                      const HierarchicalOptions& options,
+                                      const TaskRunner& runner);
+
+}  // namespace aapc::core

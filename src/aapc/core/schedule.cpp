@@ -1,23 +1,106 @@
 #include "aapc/core/schedule.hpp"
 
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "aapc/common/error.hpp"
 
 namespace aapc::core {
 
+PhaseSpan Schedule::phase(std::int32_t p) const {
+  AAPC_REQUIRE(p >= 0 && p < phase_count(),
+               "phase " << p << " out of range [0," << phase_count() << ")");
+  const auto begin = static_cast<std::size_t>(phase_begin[p]);
+  const auto end = static_cast<std::size_t>(phase_begin[p + 1]);
+  return PhaseSpan(messages.data() + begin, end - begin);
+}
+
+std::int64_t Schedule::phase_size(std::int32_t p) const {
+  AAPC_REQUIRE(p >= 0 && p < phase_count(),
+               "phase " << p << " out of range [0," << phase_count() << ")");
+  return phase_begin[p + 1] - phase_begin[p];
+}
+
+Schedule Schedule::from_staged(std::vector<ScheduledMessage> staged,
+                               std::int64_t total_phases) {
+  AAPC_REQUIRE(total_phases >= 0, "negative phase count");
+  Schedule out;
+  out.phase_begin.assign(static_cast<std::size_t>(total_phases) + 1, 0);
+  for (const ScheduledMessage& sm : staged) {
+    AAPC_REQUIRE(sm.phase >= 0 && sm.phase < total_phases,
+                 "staged message phase " << sm.phase << " out of range [0,"
+                                         << total_phases << ")");
+    out.phase_begin[static_cast<std::size_t>(sm.phase) + 1] += 1;
+  }
+  for (std::size_t p = 1; p < out.phase_begin.size(); ++p) {
+    out.phase_begin[p] += out.phase_begin[p - 1];
+  }
+  // Stable counting sort: a running cursor per phase preserves staged
+  // order within a phase (== the old per-phase insertion order).
+  std::vector<std::int64_t> cursor(out.phase_begin.begin(),
+                                   out.phase_begin.end() - 1);
+  out.messages.resize(staged.size());
+  for (const ScheduledMessage& sm : staged) {
+    out.messages[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(sm.phase)]++)] = sm;
+  }
+  return out;
+}
+
+Schedule Schedule::from_phase_lists(
+    const std::vector<std::vector<Message>>& lists, MessageScope scope) {
+  Schedule out;
+  out.phase_begin.assign(lists.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < lists.size(); ++p) {
+    total += lists[p].size();
+    out.phase_begin[p + 1] = static_cast<std::int64_t>(total);
+  }
+  out.messages.reserve(total);
+  for (std::size_t p = 0; p < lists.size(); ++p) {
+    for (const Message& m : lists[p]) {
+      out.messages.push_back(
+          ScheduledMessage{m, static_cast<std::int32_t>(p), scope});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Message>> Schedule::phase_lists() const {
+  std::vector<std::vector<Message>> lists(
+      static_cast<std::size_t>(phase_count()));
+  for (std::int32_t p = 0; p < phase_count(); ++p) {
+    auto& list = lists[static_cast<std::size_t>(p)];
+    list.reserve(static_cast<std::size_t>(phase_size(p)));
+    for (const ScheduledMessage& sm : phase(p)) list.push_back(sm.message);
+  }
+  return lists;
+}
+
 std::string Schedule::to_string(const topology::Topology& topo) const {
   std::ostringstream os;
-  for (std::size_t p = 0; p < phases.size(); ++p) {
+  for (std::int32_t p = 0; p < phase_count(); ++p) {
     os << "phase " << p << ":";
-    for (const Message& m : phases[p]) {
-      os << ' ' << topo.name(topo.machine_node(m.src)) << "->"
-         << topo.name(topo.machine_node(m.dst));
+    for (const ScheduledMessage& sm : phase(p)) {
+      os << ' ' << topo.name(topo.machine_node(sm.message.src)) << "->"
+         << topo.name(topo.machine_node(sm.message.dst));
     }
     os << '\n';
   }
   return os.str();
+}
+
+void ScheduleBuilder::add(std::int64_t phase, Rank src, Rank dst,
+                          MessageScope scope) {
+  AAPC_CHECK(phase >= 0);
+  AAPC_CHECK(src != dst);
+  staged_.push_back(ScheduledMessage{Message{src, dst},
+                                     static_cast<std::int32_t>(phase), scope});
+}
+
+Schedule ScheduleBuilder::build(std::int64_t total_phases) && {
+  return Schedule::from_staged(std::move(staged_), total_phases);
 }
 
 std::vector<Rank> invert_permutation(const std::vector<Rank>& perm) {
@@ -48,13 +131,7 @@ Schedule relabel_schedule(const Schedule& schedule,
     return perm[static_cast<std::size_t>(r)];
   };
   Schedule out;
-  out.phases.resize(schedule.phases.size());
-  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
-    out.phases[p].reserve(schedule.phases[p].size());
-    for (const Message& m : schedule.phases[p]) {
-      out.phases[p].push_back(Message{map_rank(m.src), map_rank(m.dst)});
-    }
-  }
+  out.phase_begin = schedule.phase_begin;
   out.messages.reserve(schedule.messages.size());
   for (const ScheduledMessage& sm : schedule.messages) {
     ScheduledMessage mapped = sm;

@@ -3,9 +3,16 @@
 // A Schedule partitions the AAPC pattern {u → v : u ≠ v} into *phases*
 // (contention-free sets of messages, §3). Messages are identified by
 // machine rank; the topology maps ranks back to tree nodes.
+//
+// Layout: one flat phase-major arena (`messages`) indexed by CSR-style
+// offsets (`phase_begin`), in the style of the simnet arena rework. The
+// old per-phase vector-of-vectors doubled memory and cost one heap
+// allocation per phase — ~4M allocations at 4096 ranks, where the
+// schedule holds |M|(|M|−1) ≈ 16.7M messages over ≈ 4.19M phases.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,23 +46,73 @@ struct ScheduledMessage {
                          const ScheduledMessage&) = default;
 };
 
+/// The messages of one phase: a view into the Schedule's arena.
+using PhaseSpan = std::span<const ScheduledMessage>;
+
 /// The phase-partitioned AAPC schedule.
 struct Schedule {
-  /// phases[p] lists the messages carried out in phase p.
-  std::vector<std::vector<Message>> phases;
-
-  /// Flat view with scope/phase metadata, in (phase, insertion) order.
+  /// All scheduled messages in (phase, insertion) order — the arena.
   std::vector<ScheduledMessage> messages;
 
+  /// CSR offsets: phase p occupies messages[phase_begin[p],
+  /// phase_begin[p+1]). Size phase_count()+1; empty means no phases.
+  std::vector<std::int64_t> phase_begin;
+
   std::int32_t phase_count() const {
-    return static_cast<std::int32_t>(phases.size());
+    return phase_begin.empty()
+               ? 0
+               : static_cast<std::int32_t>(phase_begin.size()) - 1;
   }
   std::int64_t message_count() const {
     return static_cast<std::int64_t>(messages.size());
   }
 
+  /// The messages of phase p (phase-insertion order).
+  PhaseSpan phase(std::int32_t p) const;
+  std::int64_t phase_size(std::int32_t p) const;
+
+  /// Indexes a staged (unsorted) message list into a Schedule covering
+  /// phases [0, total_phases): a stable counting sort by phase, so ties
+  /// keep their staged order. This is also the merge step of the
+  /// hierarchical scheduler: per-subtree emissions concatenate in
+  /// canonical order and sort into the shared phase arena.
+  static Schedule from_staged(std::vector<ScheduledMessage> staged,
+                              std::int64_t total_phases);
+
+  /// Builds a Schedule from the legacy phase-list shape (tests, JSON io).
+  static Schedule from_phase_lists(
+      const std::vector<std::vector<Message>>& lists,
+      MessageScope scope = MessageScope::kGlobal);
+
+  /// The legacy phase-list shape, for tests that splice phases.
+  std::vector<std::vector<Message>> phase_lists() const;
+
   /// Renders "phase p: a->b, c->d" lines for diagnostics and examples.
   std::string to_string(const topology::Topology& topo) const;
+};
+
+/// Accumulates (phase, message) pairs in emission order, then indexes
+/// them into a Schedule. The shared builder for the §4 assignment, the
+/// greedy scheduler, and benches.
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder() = default;
+
+  void reserve(std::int64_t message_capacity) {
+    staged_.reserve(static_cast<std::size_t>(message_capacity));
+  }
+
+  void add(std::int64_t phase, Rank src, Rank dst, MessageScope scope);
+
+  std::int64_t staged_count() const {
+    return static_cast<std::int64_t>(staged_.size());
+  }
+
+  /// Finalizes into a Schedule over phases [0, total_phases).
+  Schedule build(std::int64_t total_phases) &&;
+
+ private:
+  std::vector<ScheduledMessage> staged_;
 };
 
 /// Rewrites every rank in `schedule` through `perm`: a message u → v

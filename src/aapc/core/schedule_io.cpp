@@ -11,13 +11,14 @@ std::string schedule_to_json(const Schedule& schedule,
                              std::int32_t machine_count) {
   std::ostringstream os;
   os << "{\"machines\":" << machine_count << ",\"phases\":[";
-  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+  for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
     if (p > 0) os << ',';
     os << '[';
-    for (std::size_t i = 0; i < schedule.phases[p].size(); ++i) {
-      if (i > 0) os << ',';
-      const Message& m = schedule.phases[p][i];
-      os << '[' << m.src << ',' << m.dst << ']';
+    bool first = true;
+    for (const ScheduledMessage& sm : schedule.phase(p)) {
+      if (!first) os << ',';
+      first = false;
+      os << '[' << sm.message.src << ',' << sm.message.dst << ']';
     }
     os << ']';
   }
@@ -105,7 +106,7 @@ Schedule schedule_from_json(std::string_view json,
   Reader reader(json);
   reader.expect('{');
   std::int64_t machines = -1;
-  Schedule schedule;
+  std::vector<std::vector<Message>> phases;
   bool saw_phases = false;
   do {
     const std::string field = reader.key();
@@ -131,7 +132,7 @@ Schedule schedule_from_json(std::string_view json,
             } while (reader.consume(','));
             reader.expect(']');
           }
-          schedule.phases.push_back(std::move(phase));
+          phases.push_back(std::move(phase));
         } while (reader.consume(','));
         reader.expect(']');
       }
@@ -147,16 +148,14 @@ Schedule schedule_from_json(std::string_view json,
   AAPC_REQUIRE(expected_machines < 0 || machines == expected_machines,
                "schedule JSON: machine count " << machines << " != expected "
                                                << expected_machines);
-  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
-    for (const Message& m : schedule.phases[p]) {
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    for (const Message& m : phases[p]) {
       AAPC_REQUIRE(m.src >= 0 && m.src < machines && m.dst >= 0 &&
                        m.dst < machines,
                    "schedule JSON: rank out of range in phase " << p);
-      schedule.messages.push_back(ScheduledMessage{
-          m, static_cast<std::int32_t>(p), MessageScope::kGlobal});
     }
   }
-  return schedule;
+  return Schedule::from_phase_lists(phases);
 }
 
 }  // namespace aapc::core

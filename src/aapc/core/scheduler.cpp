@@ -12,15 +12,16 @@ Schedule build_aapc_schedule(const topology::Topology& topo,
     return Schedule{};
   }
   if (machines == 2) {
-    Schedule schedule;
-    schedule.phases.resize(1);
-    schedule.phases[0] = {Message{0, 1}, Message{1, 0}};
-    schedule.messages = {
-        ScheduledMessage{Message{0, 1}, 0, MessageScope::kGlobal},
-        ScheduledMessage{Message{1, 0}, 0, MessageScope::kGlobal}};
-    return schedule;
+    ScheduleBuilder builder;
+    builder.add(0, 0, 1, MessageScope::kGlobal);
+    builder.add(0, 1, 0, MessageScope::kGlobal);
+    return std::move(builder).build(1);
   }
   const Decomposition dec = decompose(topo);
+  if (options.hierarchical) {
+    return assign_messages_hierarchical(dec, options.assignment,
+                                        options.runner);
+  }
   return assign_messages(dec, options.assignment);
 }
 

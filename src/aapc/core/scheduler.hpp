@@ -4,12 +4,22 @@
 
 #include "aapc/core/assign.hpp"
 #include "aapc/core/decompose.hpp"
+#include "aapc/core/hierarchical.hpp"
 #include "aapc/core/schedule.hpp"
 
 namespace aapc::core {
 
 struct SchedulerOptions {
   AssignmentOptions assignment;
+
+  /// Use the hierarchical assignment (per-subtree emission units merged
+  /// across the root). Output is bit-identical to the flat path; the
+  /// units can additionally run on `runner`'s threads.
+  bool hierarchical = false;
+
+  /// Executes hierarchical emission units; nullptr means run inline on
+  /// the calling thread. The service installs its CompilerPool here.
+  TaskRunner runner = nullptr;
 };
 
 /// Builds the contention-free AAPC schedule for `topo`:

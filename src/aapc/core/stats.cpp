@@ -38,11 +38,10 @@ ScheduleStats compute_schedule_stats(const topology::Topology& topo,
   std::int64_t receives = 0;
   std::int64_t bottleneck_busy_directions = 0;
   stats.min_messages_per_phase =
-      schedule.phases.empty()
-          ? 0
-          : static_cast<std::int32_t>(schedule.phases[0].size());
-  for (const auto& phase : schedule.phases) {
-    const auto count = static_cast<std::int32_t>(phase.size());
+      static_cast<std::int32_t>(schedule.phase_size(0));
+  std::vector<topology::EdgeId> path;
+  for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
+    const auto count = static_cast<std::int32_t>(schedule.phase_size(p));
     stats.message_count += count;
     stats.min_messages_per_phase =
         std::min(stats.min_messages_per_phase, count);
@@ -50,12 +49,14 @@ ScheduleStats compute_schedule_stats(const topology::Topology& topo,
         std::max(stats.max_messages_per_phase, count);
     bool forward = false;
     bool backward = false;
-    for (const Message& m : phase) {
+    for (const ScheduledMessage& sm : schedule.phase(p)) {
+      const Message& m = sm.message;
       ++sends;
       ++receives;
       if (bottleneck >= 0) {
-        for (const topology::EdgeId e :
-             topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+        topo.path_into(topo.machine_node(m.src), topo.machine_node(m.dst),
+                       path);
+        for (const topology::EdgeId e : path) {
           if (topo.edge_link(e) == bottleneck) {
             (topo.edge_source(e) == ba ? forward : backward) = true;
           }

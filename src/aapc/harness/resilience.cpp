@@ -21,19 +21,22 @@ SimTime run_programs(const topology::Topology& topo,
   return executor.run(set).completion_time;
 }
 
-/// Phases [begin, end) of `schedule`, renumbered from 0.
+/// Phases [begin, end) of `schedule`, renumbered from 0. The arena is
+/// phase-major, so a slice is one contiguous copy plus shifted offsets.
 core::Schedule slice_phases(const core::Schedule& schedule, std::int32_t begin,
                             std::int32_t end) {
   core::Schedule result;
-  for (std::int32_t p = begin; p < end; ++p) {
-    result.phases.push_back(schedule.phases[static_cast<std::size_t>(p)]);
+  const std::int64_t first = schedule.phase_begin[begin];
+  result.messages.assign(
+      schedule.messages.begin() + static_cast<std::ptrdiff_t>(first),
+      schedule.messages.begin() +
+          static_cast<std::ptrdiff_t>(schedule.phase_begin[end]));
+  for (core::ScheduledMessage& shifted : result.messages) {
+    shifted.phase -= begin;
   }
-  for (const core::ScheduledMessage& scheduled : schedule.messages) {
-    if (scheduled.phase >= begin && scheduled.phase < end) {
-      core::ScheduledMessage shifted = scheduled;
-      shifted.phase -= begin;
-      result.messages.push_back(shifted);
-    }
+  result.phase_begin.reserve(static_cast<std::size_t>(end - begin) + 1);
+  for (std::int32_t p = begin; p <= end; ++p) {
+    result.phase_begin.push_back(schedule.phase_begin[p] - first);
   }
   return result;
 }

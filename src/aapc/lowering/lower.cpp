@@ -54,10 +54,11 @@ ProgramSet lower_barrier_mode(const topology::Topology& topo,
       emit[r].copy(bytes_for(r, r));
     }
   }
-  for (const auto& phase : schedule.phases) {
+  for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
     // Post this phase's operations, wait them, then a global barrier.
     std::vector<std::pair<core::Rank, RequestId>> to_wait;
-    for (const core::Message& m : phase) {
+    for (const core::ScheduledMessage& sm : schedule.phase(p)) {
+      const core::Message& m = sm.message;
       const Bytes bytes = bytes_for(m.src, m.dst);
       to_wait.emplace_back(m.dst,
                            emit[m.dst].irecv(m.src, bytes, kDataTag));
@@ -98,21 +99,29 @@ ProgramSet lower_with_sizes(const topology::Topology& topo,
   const std::int32_t ranks = topo.machine_count();
   const auto n = static_cast<std::size_t>(schedule.messages.size());
 
-  // Synchronization plan (empty in kNone mode).
+  // Synchronization plan (empty in kNone mode). A caller that already
+  // built the plan (the compilation service does, for its cache entry)
+  // passes it through `precomputed_plan` instead of paying for a second
+  // construction over the same schedule.
   sync::SyncPlan plan;
+  const sync::SyncPlan* active_plan = &plan;
   if (options.sync == SyncMode::kPairwise) {
-    sync::SyncPlanOptions plan_options;
-    plan_options.remove_redundant = options.reduce_redundant_syncs;
-    plan = sync::build_sync_plan(topo, schedule, plan_options);
+    if (options.precomputed_plan != nullptr) {
+      active_plan = options.precomputed_plan;
+    } else {
+      sync::SyncPlanOptions plan_options;
+      plan_options.remove_redundant = options.reduce_redundant_syncs;
+      plan = sync::build_sync_plan(topo, schedule, plan_options);
+    }
   }
   if (info != nullptr) {
-    info->sync_edges_before_reduction = plan.edges_before_reduction;
+    info->sync_edges_before_reduction = active_plan->edges_before_reduction;
   }
 
   // Incoming sync edges per message, and outgoing per message.
   std::vector<std::vector<std::int32_t>> in_edges(n);
   std::vector<std::vector<std::int32_t>> out_edges(n);
-  for (const sync::SyncEdge& e : plan.edges) {
+  for (const sync::SyncEdge& e : active_plan->edges) {
     in_edges[static_cast<std::size_t>(e.to)].push_back(e.from);
     out_edges[static_cast<std::size_t>(e.from)].push_back(e.to);
   }
@@ -140,10 +149,12 @@ ProgramSet lower_with_sizes(const topology::Topology& topo,
   };
   // Map (from, to) -> edge index for tag lookup.
   auto edge_index_of = [&](std::int32_t from, std::int32_t to) {
-    const auto it = std::lower_bound(
-        plan.edges.begin(), plan.edges.end(), sync::SyncEdge{from, to});
-    AAPC_CHECK(it != plan.edges.end() && it->from == from && it->to == to);
-    return static_cast<std::size_t>(it - plan.edges.begin());
+    const auto it =
+        std::lower_bound(active_plan->edges.begin(), active_plan->edges.end(),
+                         sync::SyncEdge{from, to});
+    AAPC_CHECK(it != active_plan->edges.end() && it->from == from &&
+               it->to == to);
+    return static_cast<std::size_t>(it - active_plan->edges.begin());
   };
 
   for (std::size_t i = 0; i < n; ++i) {

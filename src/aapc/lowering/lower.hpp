@@ -50,6 +50,12 @@ struct LoweringOptions {
   /// schedule fails loudly here instead of executing with silently
   /// contended phases. On by default in every build type.
   bool verify_schedule = true;
+  /// A sync plan already built for exactly this schedule (kPairwise
+  /// only). Non-null skips the internal build_sync_plan call — the
+  /// compilation service builds the plan once for its cache entry and
+  /// reuses it here. Must outlive the lowering call; must come from the
+  /// same schedule, or the emitted token pattern is wrong.
+  const sync::SyncPlan* precomputed_plan = nullptr;
 };
 
 /// Statistics accompanying a lowered program set.

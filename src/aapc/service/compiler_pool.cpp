@@ -1,6 +1,9 @@
 #include "aapc/service/compiler_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -42,6 +45,57 @@ void CompilerPool::submit(std::function<void()> task) {
         peak_queue_depth_, static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_one();
+}
+
+void CompilerPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  // Shared between the caller and its helper jobs. Helpers may outlive
+  // the call (a straggler that finds the cursor exhausted), so the state
+  // they touch after the last task completes lives behind a shared_ptr
+  // and never dereferences the caller's vector: `data` is only read for
+  // indices below `n`, and a task at index i keeps `done < n` until it
+  // returns, which keeps the caller (and the vector) alive.
+  struct Shared {
+    const std::function<void()>* data;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->data = tasks.data();
+  shared->n = tasks.size();
+  auto drain = [shared] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= shared->n) return;
+      shared->data[i]();
+      if (shared->done.fetch_add(1) + 1 == shared->n) {
+        const std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->all_done.notify_all();
+      }
+    }
+  };
+  // Helpers are best-effort parallelism: a saturated (or shutting-down)
+  // queue just means the caller drains more of the batch itself.
+  const auto helpers = std::min<std::size_t>(workers_.size(),
+                                             tasks.size() - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    try {
+      submit(drain);
+    } catch (const Error&) {
+      break;
+    }
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->all_done.wait(
+      lock, [&shared] { return shared->done.load() >= shared->n; });
 }
 
 void CompilerPool::worker_loop() {

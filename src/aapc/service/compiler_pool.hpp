@@ -52,6 +52,16 @@ class CompilerPool {
   /// Throws PoolSaturated when the queue is at capacity.
   void submit(std::function<void()> task);
 
+  /// Runs every task in `tasks` and returns when all have finished.
+  /// The calling thread participates: it pulls tasks from a shared
+  /// cursor alongside best-effort helper jobs submitted to the queue,
+  /// so a full queue (or a pool of busy workers calling this from
+  /// inside their own task) degrades to inline execution instead of
+  /// deadlocking. Tasks must not throw. Shaped as the core::TaskRunner
+  /// contract — the service installs this as the hierarchical
+  /// scheduler's runner.
+  void run_tasks(const std::vector<std::function<void()>>& tasks);
+
   Stats stats() const;
   std::int32_t thread_count() const {
     return static_cast<std::int32_t>(workers_.size());

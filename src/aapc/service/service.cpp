@@ -87,6 +87,21 @@ ScheduleService::ScheduleService(const ServiceOptions& options)
       compile_seconds_(registry_.histogram(
           "aapc_service_compile_seconds",
           "End-to-end compilation latency of one canonical artifact")),
+      stage_decompose_seconds_(registry_.histogram(
+          "aapc_service_stage_decompose_seconds",
+          "Wall time of the decomposition stage (root + subtrees)")),
+      stage_assign_seconds_(registry_.histogram(
+          "aapc_service_stage_assign_seconds",
+          "Wall time of the message-assignment stage (Figure 4)")),
+      stage_sync_seconds_(registry_.histogram(
+          "aapc_service_stage_sync_seconds",
+          "Wall time of synchronization-plan construction")),
+      stage_lower_seconds_(registry_.histogram(
+          "aapc_service_stage_lower_seconds",
+          "Wall time of lowering to per-rank programs")),
+      compile_ranks_(registry_.gauge(
+          "aapc_service_compile_ranks",
+          "Machine count of the most recently compiled topology")),
       pool_(options.compiler_threads, options.queue_capacity) {
   latency_ring_.reserve(kLatencyReservoirCapacity);
 }
@@ -103,18 +118,58 @@ CompiledEntryPtr ScheduleService::compile_entry(
   entry->canonical_form = canonical_form;
   entry->canonical_topo = build_canonical_topology(canonical_form);
   entry->class_bytes = class_bytes;
-  entry->schedule = core::build_aapc_schedule(entry->canonical_topo);
+  const topology::Topology& topo = entry->canonical_topo;
+  compile_ranks_.set(static_cast<double>(topo.machine_count()));
+
+  Clock::time_point stage = Clock::now();
+  if (topo.machine_count() >= 3) {
+    const core::Decomposition dec = core::decompose(topo);
+    stage_decompose_seconds_.observe(seconds_since(stage));
+    stage = Clock::now();
+    if (options_.parallel_assignment) {
+      // Emission tasks fan out to whatever pool workers are idle; this
+      // thread participates, so saturation degrades to sequential
+      // instead of deadlocking. The result is bit-identical either way.
+      entry->schedule = core::assign_messages_hierarchical(
+          dec, core::AssignmentOptions{},
+          [this](const std::vector<core::Task>& tasks) {
+            pool_.run_tasks(tasks);
+          });
+    } else {
+      entry->schedule = core::assign_messages(dec);
+    }
+  } else {
+    // Degenerate sizes (|M| <= 2) have no decomposition; the whole
+    // build is charged to the assign stage.
+    entry->schedule = core::build_aapc_schedule(topo);
+  }
+  stage_assign_seconds_.observe(seconds_since(stage));
+
   if (options_.verify_compiled) {
     const core::VerifyReport report =
-        core::verify_schedule(entry->canonical_topo, entry->schedule);
+        core::verify_schedule(topo, entry->schedule);
     AAPC_CHECK_MSG(report.ok, "compiled schedule failed verification:\n"
                                   << report.summary());
   }
-  entry->sync_plan = sync::build_sync_plan(entry->canonical_topo,
-                                           entry->schedule);
-  entry->programs = lowering::lower_schedule(entry->canonical_topo,
-                                             entry->schedule, class_bytes,
-                                             options_.lowering, &entry->info);
+
+  stage = Clock::now();
+  // The cached plan must match the programs lowered from it, so it
+  // follows the service's reduction knob rather than the plan default.
+  sync::SyncPlanOptions plan_options;
+  plan_options.remove_redundant = options_.lowering.reduce_redundant_syncs;
+  entry->sync_plan = sync::build_sync_plan(topo, entry->schedule,
+                                           plan_options);
+  stage_sync_seconds_.observe(seconds_since(stage));
+
+  stage = Clock::now();
+  lowering::LoweringOptions lower_options = options_.lowering;
+  if (lower_options.sync == lowering::SyncMode::kPairwise) {
+    lower_options.precomputed_plan = &entry->sync_plan;
+  }
+  entry->programs = lowering::lower_schedule(topo, entry->schedule,
+                                             class_bytes, lower_options,
+                                             &entry->info);
+  stage_lower_seconds_.observe(seconds_since(stage));
   entry->compile_seconds = seconds_since(start);
   record_compile_latency(entry->compile_seconds);
   AAPC_DEBUG("compiled canonical topology ("

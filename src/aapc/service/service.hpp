@@ -69,6 +69,12 @@ struct ServiceOptions {
   /// Run the full independent verifier (core::verify_schedule) on every
   /// compiled schedule before publishing it to the cache.
   bool verify_compiled = true;
+  /// Build schedules through the hierarchical assignment, distributing
+  /// emission tasks across idle pool workers (the compiling thread
+  /// always participates, so this is deadlock-free even when every
+  /// worker is itself compiling). Output is bit-identical to the
+  /// sequential path, so this is not part of the cache key.
+  bool parallel_assignment = true;
 };
 
 /// A served routine, rewritten into the caller's rank labeling.
@@ -187,6 +193,15 @@ class ScheduleService {
   obs::Counter& rejected_;
   obs::Counter& hash_collisions_;
   obs::Histogram& compile_seconds_;
+  /// Per-stage compile-time breakdown (decompose -> assign -> sync ->
+  /// lower) plus the size of the topology last compiled; exported with
+  /// every snapshot so `aapc_serviced --metrics-out` shows where
+  /// compilation time goes at each cluster size.
+  obs::Histogram& stage_decompose_seconds_;
+  obs::Histogram& stage_assign_seconds_;
+  obs::Histogram& stage_sync_seconds_;
+  obs::Histogram& stage_lower_seconds_;
+  obs::Gauge& compile_ranks_;
 
   /// Bounded ring of recent compile latencies (retry_after_hint's
   /// median). latency_ring_ holds at most kLatencyReservoirCapacity

@@ -59,24 +59,28 @@ SyncPlan build_sync_plan(const topology::Topology& topo,
                  "schedule messages must be sorted by phase");
   }
 
-  // Path bitmask per message over directed edges.
-  BitRows paths(n, static_cast<std::size_t>(topo.directed_edge_count()));
-  for (std::size_t i = 0; i < n; ++i) {
-    const core::Message& m = schedule.messages[i].message;
-    for (const topology::EdgeId e :
-         topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
-      paths.set(i, static_cast<std::size_t>(e));
-    }
-  }
-
   const bool all_pairs =
       options.construction == SyncPlanOptions::Construction::kAllPairs ||
       (options.construction == SyncPlanOptions::Construction::kAuto &&
        n <= 4000);
 
   std::vector<std::vector<std::int32_t>> succ(n);
+  std::vector<topology::EdgeId> path;
   SyncPlan plan;
   if (all_pairs) {
+    // Path bitmask per message over directed edges. Built only on this
+    // branch: at n messages and E directed edges it costs n*E bits —
+    // ~20 GB for a 4096-rank schedule — while the edge-chain
+    // construction below never needs it.
+    BitRows paths(n, static_cast<std::size_t>(topo.directed_edge_count()));
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::Message& m = schedule.messages[i].message;
+      topo.path_into(topo.machine_node(m.src), topo.machine_node(m.dst),
+                     path);
+      for (const topology::EdgeId e : path) {
+        paths.set(i, static_cast<std::size_t>(e));
+      }
+    }
     // Full dependence graph (§5): edge i -> j for i < j in phase order
     // when the paths intersect and the phases differ. (Messages are
     // phase-sorted; intra-phase pairs are contention-free by
@@ -102,8 +106,9 @@ SyncPlan build_sync_plan(const topology::Topology& topo,
     std::vector<std::vector<std::int32_t>> pred_dedupe(n);
     for (std::size_t j = 0; j < n; ++j) {
       const core::Message& m = schedule.messages[j].message;
-      for (const topology::EdgeId e :
-           topo.path(topo.machine_node(m.src), topo.machine_node(m.dst))) {
+      topo.path_into(topo.machine_node(m.src), topo.machine_node(m.dst),
+                     path);
+      for (const topology::EdgeId e : path) {
         const std::int32_t i = last_user[static_cast<std::size_t>(e)];
         last_user[static_cast<std::size_t>(e)] =
             static_cast<std::int32_t>(j);

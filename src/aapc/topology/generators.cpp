@@ -1,5 +1,8 @@
 #include "aapc/topology/generators.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "aapc/common/error.hpp"
 #include "aapc/common/strings.hpp"
 
@@ -172,6 +175,128 @@ Topology make_random_tree(Rng& rng, const RandomTreeOptions& options) {
   while (placed < options.machines) {
     machine_count[rng.next_below(switches.size())] += 1;
     ++placed;
+  }
+  std::int32_t machine = 0;
+  for (std::size_t j = 0; j < switches.size(); ++j) {
+    for (std::int32_t c = 0; c < machine_count[j]; ++c) {
+      const NodeId m = topo.add_machine(str_cat("n", machine++));
+      topo.add_link(m, switches[j]);
+    }
+  }
+  topo.finalize();
+  return topo;
+}
+
+Topology make_switch_fabric(const std::vector<std::int32_t>& fanout,
+                            std::int32_t machines_per_leaf) {
+  AAPC_REQUIRE(machines_per_leaf >= 1, "machines_per_leaf >= 1");
+  for (const std::int32_t f : fanout) {
+    AAPC_REQUIRE(f >= 1, "every fabric level needs fanout >= 1");
+  }
+  Topology topo;
+  std::int32_t next_switch = 0;
+  std::vector<NodeId> level{topo.add_switch(str_cat("s", next_switch++))};
+  for (const std::int32_t f : fanout) {
+    std::vector<NodeId> next_level;
+    next_level.reserve(level.size() * static_cast<std::size_t>(f));
+    for (const NodeId parent : level) {
+      for (std::int32_t c = 0; c < f; ++c) {
+        const NodeId sw = topo.add_switch(str_cat("s", next_switch++));
+        topo.add_link(parent, sw);
+        next_level.push_back(sw);
+      }
+    }
+    level = std::move(next_level);
+  }
+  std::int32_t machine = 0;
+  for (const NodeId leaf : level) {
+    for (std::int32_t i = 0; i < machines_per_leaf; ++i) {
+      const NodeId m = topo.add_machine(str_cat("n", machine++));
+      topo.add_link(m, leaf);
+    }
+  }
+  topo.finalize();
+  return topo;
+}
+
+Topology make_fat_tree(std::int32_t pods, std::int32_t edges_per_pod,
+                       std::int32_t hosts_per_edge) {
+  AAPC_REQUIRE(pods >= 1, "pods >= 1");
+  AAPC_REQUIRE(edges_per_pod >= 1, "edges_per_pod >= 1");
+  return make_switch_fabric({pods, edges_per_pod}, hosts_per_edge);
+}
+
+Topology make_random_lan(Rng& rng, const RandomLanOptions& options) {
+  AAPC_REQUIRE(options.switches >= 1, "need at least one switch");
+  AAPC_REQUIRE(options.machines >= 1, "need at least one machine");
+  AAPC_REQUIRE(options.max_switch_degree >= 1, "max_switch_degree >= 1");
+  AAPC_REQUIRE(options.dense_switch_percent >= 0 &&
+                   options.dense_switch_percent <= 100,
+               "dense_switch_percent in [0, 100]");
+  AAPC_REQUIRE(options.dense_machine_percent >= 0 &&
+                   options.dense_machine_percent <= 100,
+               "dense_machine_percent in [0, 100]");
+
+  Topology topo;
+  std::vector<NodeId> switches;
+  std::vector<std::int32_t> switch_children;
+  switches.reserve(static_cast<std::size_t>(options.switches));
+  switches.push_back(topo.add_switch());
+  switch_children.push_back(0);
+  for (std::int32_t i = 1; i < options.switches; ++i) {
+    // Same bounded-degree recursive tree as make_random_tree, but the
+    // eligible scan would be quadratic at thousands of switches, so
+    // retry-sample instead and fall back to a linear scan only when the
+    // tree is nearly saturated.
+    std::size_t parent_index = switches.size();
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto candidate =
+          static_cast<std::size_t>(rng.next_below(switches.size()));
+      if (switch_children[candidate] < options.max_switch_degree) {
+        parent_index = candidate;
+        break;
+      }
+    }
+    if (parent_index == switches.size()) {
+      for (std::size_t j = 0; j < switches.size(); ++j) {
+        if (switch_children[j] < options.max_switch_degree) {
+          parent_index = j;
+          break;
+        }
+      }
+      // Fully saturated (tiny degree cap): any parent keeps the tree
+      // well-formed, matching make_random_tree's fallback.
+      if (parent_index == switches.size()) {
+        parent_index = static_cast<std::size_t>(
+            rng.next_below(switches.size()));
+      }
+    }
+    const NodeId sw = topo.add_switch();
+    topo.add_link(switches[parent_index], sw);
+    switch_children[parent_index] += 1;
+    switches.push_back(sw);
+    switch_children.push_back(0);
+  }
+
+  // Skewed placement: a minority of "wiring closet" switches absorbs
+  // most machines; the remainder scatter uniformly over all switches.
+  const auto dense_count = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(switches.size()) *
+             options.dense_switch_percent / 100));
+  std::vector<std::size_t> dense;
+  dense.reserve(dense_count);
+  for (std::size_t d = 0; d < dense_count; ++d) {
+    dense.push_back(static_cast<std::size_t>(rng.next_below(switches.size())));
+  }
+  const std::int32_t dense_machines =
+      static_cast<std::int32_t>(static_cast<std::int64_t>(options.machines) *
+                                options.dense_machine_percent / 100);
+  std::vector<std::int32_t> machine_count(switches.size(), 0);
+  for (std::int32_t p = 0; p < dense_machines; ++p) {
+    machine_count[dense[rng.next_below(dense.size())]] += 1;
+  }
+  for (std::int32_t p = dense_machines; p < options.machines; ++p) {
+    machine_count[rng.next_below(switches.size())] += 1;
   }
   std::int32_t machine = 0;
   for (std::size_t j = 0; j < switches.size(); ++j) {

@@ -63,4 +63,38 @@ struct RandomTreeOptions {
 /// Guarantees at least one machine; the result is finalized.
 Topology make_random_tree(Rng& rng, const RandomTreeOptions& options);
 
+/// Uniform multi-level switch fabric: one root switch; every switch at
+/// level l (root = level 0) has fanout[l] child switches; each
+/// deepest-level switch holds `machines_per_leaf` machines. An empty
+/// fanout degenerates to make_single_switch. Switches are named in
+/// creation (breadth-first) order; the result is finalized.
+Topology make_switch_fabric(const std::vector<std::int32_t>& fanout,
+                            std::int32_t machines_per_leaf);
+
+/// The spanning-tree view of a fat-tree datacenter fabric: a core
+/// switch over `pods` aggregation switches, each over `edges_per_pod`
+/// edge switches, each holding `hosts_per_edge` machines (one active
+/// uplink per switch, as STP would leave it). 8 x 16 x 32 = 4096 hosts.
+Topology make_fat_tree(std::int32_t pods, std::int32_t edges_per_pod,
+                       std::int32_t hosts_per_edge);
+
+struct RandomLanOptions {
+  std::int32_t switches = 64;
+  std::int32_t machines = 1024;
+  /// Maximum switch-children a switch may have (>= 1).
+  std::int32_t max_switch_degree = 8;
+  /// Percent of switches acting as dense wiring closets; they receive
+  /// `dense_machine_percent` of the machines between them, the rest
+  /// scatter uniformly (0 disables the skew).
+  std::int32_t dense_switch_percent = 25;
+  std::int32_t dense_machine_percent = 75;
+};
+
+/// Random campus-LAN-shaped tree at benchmark scale: a bounded-degree
+/// random recursive tree of switches with a skewed machine
+/// distribution (most hosts concentrate under a minority of "wiring
+/// closet" switches, the remainder spread thin). Deterministic for a
+/// fixed Rng state; the result is finalized.
+Topology make_random_lan(Rng& rng, const RandomLanOptions& options);
+
 }  // namespace aapc::topology

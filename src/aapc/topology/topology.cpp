@@ -13,6 +13,7 @@ NodeId Topology::add_switch(std::string name) {
   kinds_.push_back(NodeKind::kSwitch);
   names_.push_back(name.empty() ? str_cat("s", switch_count_) : std::move(name));
   adjacency_.emplace_back();
+  adjacency_links_.emplace_back();
   rank_of_node_.push_back(-1);
   ++switch_count_;
   return id;
@@ -25,6 +26,7 @@ NodeId Topology::add_machine(std::string name) {
   names_.push_back(name.empty() ? str_cat("n", machine_ids_.size())
                                 : std::move(name));
   adjacency_.emplace_back();
+  adjacency_links_.emplace_back();
   rank_of_node_.push_back(static_cast<Rank>(machine_ids_.size()));
   machine_ids_.push_back(id);
   return id;
@@ -39,6 +41,8 @@ LinkId Topology::add_link(NodeId a, NodeId b) {
   link_endpoints_.emplace_back(a, b);
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
+  adjacency_links_[a].push_back(id);
+  adjacency_links_[b].push_back(id);
   return id;
 }
 
@@ -84,8 +88,9 @@ void Topology::finalize() {
                    << order.size() << " of " << node_count()
                    << " nodes reachable from " << names_[0] << ")");
 
-  // parent_edge_ needs link ids; build an adjacency->link lookup by
-  // scanning links (small graphs; fine to be O(V+E)).
+  // parent_edge_ from the per-node link lists (O(sum of degrees); the
+  // old per-node edge_between scan over every link was O(V * E) —
+  // seconds of finalize time at a few thousand nodes).
   finalized_ = true;  // edge_between below requires finalized state.
   for (NodeId v = 0; v < node_count(); ++v) {
     if (parent_[v] != kInvalidNode) {
@@ -103,6 +108,41 @@ void Topology::finalize() {
       subtree_machines_[parent_[v]] += subtree_machines_[v];
     }
   }
+
+  // Euler intervals via iterative DFS: tour_in_ in preorder, tour_out_
+  // when a node's subtree closes. Enables O(1) ancestor tests.
+  tour_in_.assign(node_count(), 0);
+  tour_out_.assign(node_count(), 0);
+  std::int32_t clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> dfs;  // (node, next child)
+  dfs.emplace_back(0, 0);
+  tour_in_[0] = clock++;
+  while (!dfs.empty()) {
+    const NodeId u = dfs.back().first;
+    std::size_t next = dfs.back().second;
+    const auto& adj = adjacency_[u];
+    NodeId child = kInvalidNode;
+    while (next < adj.size()) {
+      const NodeId v = adj[next++];
+      if (v != parent_[u]) {
+        child = v;
+        break;
+      }
+    }
+    dfs.back().second = next;
+    if (child != kInvalidNode) {
+      tour_in_[child] = clock++;
+      dfs.emplace_back(child, 0);
+    } else {
+      tour_out_[u] = clock;
+      dfs.pop_back();
+    }
+  }
+
+  name_index_.reserve(names_.size());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    name_index_.emplace(names_[v], v);
+  }
 }
 
 NodeKind Topology::kind(NodeId node) const {
@@ -116,6 +156,11 @@ const std::string& Topology::name(NodeId node) const {
 }
 
 std::optional<NodeId> Topology::find_node(const std::string& name) const {
+  if (finalized_) {
+    const auto it = name_index_.find(name);
+    if (it == name_index_.end()) return std::nullopt;
+    return it->second;
+  }
   for (NodeId node = 0; node < node_count(); ++node) {
     if (names_[node] == name) return node;
   }
@@ -149,10 +194,14 @@ std::pair<NodeId, NodeId> Topology::link_endpoints(LinkId link) const {
 EdgeId Topology::edge_between(NodeId from, NodeId to) const {
   require_valid_node(from);
   require_valid_node(to);
-  for (LinkId link = 0; link < link_count(); ++link) {
-    const auto [a, b] = link_endpoints_[link];
-    if (a == from && b == to) return 2 * link;
-    if (b == from && a == to) return 2 * link + 1;
+  // O(degree(from)) via the per-node link lists; the old scan over every
+  // link made finalize()'s parent_edge_ pass O(V * E).
+  const auto& adj = adjacency_[from];
+  const auto& links = adjacency_links_[from];
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i] != to) continue;
+    const LinkId link = links[i];
+    return (link_endpoints_[link].first == from) ? 2 * link : 2 * link + 1;
   }
   throw InvalidArgument(str_cat("nodes ", names_[from], " and ", names_[to],
                                 " are not adjacent"));
@@ -252,28 +301,36 @@ bool Topology::paths_share_edge(NodeId u1, NodeId v1, NodeId u2,
   return false;
 }
 
+bool Topology::is_ancestor(NodeId ancestor, NodeId node) const {
+  require_finalized();
+  require_valid_node(ancestor);
+  require_valid_node(node);
+  return tour_in_[ancestor] <= tour_in_[node] &&
+         tour_in_[node] < tour_out_[ancestor];
+}
+
+std::int32_t Topology::machines_beyond(NodeId node, NodeId neighbor) const {
+  require_finalized();
+  require_valid_node(node);
+  require_valid_node(neighbor);
+  if (parent_[neighbor] == node) return subtree_machines_[neighbor];
+  AAPC_REQUIRE(parent_[node] == neighbor,
+               "nodes " << names_[node] << " and " << names_[neighbor]
+                        << " are not adjacent");
+  return machine_count() - subtree_machines_[node];
+}
+
 std::int32_t Topology::machines_on_side(LinkId link, NodeId side) const {
   require_finalized();
   AAPC_REQUIRE(link >= 0 && link < link_count(), "bad link id " << link);
   require_valid_node(side);
   const auto [a, b] = link_endpoints_[link];
-  // Identify the child endpoint under the internal rooting; its rooted
-  // subtree is one component.
+  // The child endpoint under the internal rooting owns one component
+  // (its rooted subtree); `side` is in it iff child is its ancestor.
   const NodeId child = (parent_[a] == b) ? a : b;
-  AAPC_CHECK(parent_[child] == (child == a ? b : a));
   const std::int32_t child_side = subtree_machines_[child];
-  // Which component does `side` belong to? Walk up from `side` to see if
-  // it passes through `child` before crossing the link.
-  NodeId cursor = side;
-  bool in_child_component = false;
-  while (cursor != kInvalidNode) {
-    if (cursor == child) {
-      in_child_component = true;
-      break;
-    }
-    cursor = parent_[cursor];
-  }
-  return in_child_component ? child_side : machine_count() - child_side;
+  return is_ancestor(child, side) ? child_side
+                                  : machine_count() - child_side;
 }
 
 std::int64_t Topology::aapc_link_load(LinkId link) const {

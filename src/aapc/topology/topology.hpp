@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "aapc/common/units.hpp"
@@ -131,7 +132,18 @@ class Topology {
   // ---- AAPC load analysis (§3) ----
 
   /// Machines in the component containing `side` after removing `link`.
+  /// O(1) (Euler-interval ancestor test against the internal rooting).
   std::int32_t machines_on_side(LinkId link, NodeId side) const;
+
+  /// Machines in the component containing `neighbor` after removing
+  /// `node`; the nodes must be adjacent. O(1) via the rooted subtree
+  /// counts — the workhorse of large-scale decomposition (a BFS per
+  /// branch would make the §4.1 root walk quadratic on deep trees).
+  std::int32_t machines_beyond(NodeId node, NodeId neighbor) const;
+
+  /// True when `ancestor` lies on the path from `node` to the internal
+  /// root (inclusive). O(1) via Euler intervals.
+  bool is_ancestor(NodeId ancestor, NodeId node) const;
 
   /// AAPC load of a link: |Mu| × |Mv| for the two components.
   std::int64_t aapc_link_load(LinkId link) const;
@@ -155,6 +167,9 @@ class Topology {
   std::vector<NodeKind> kinds_;
   std::vector<std::string> names_;
   std::vector<std::vector<NodeId>> adjacency_;
+  /// adjacency_links_[n][i] is the link to adjacency_[n][i] (same
+  /// shape), so edge_between is O(degree) instead of O(links).
+  std::vector<std::vector<LinkId>> adjacency_links_;
   std::vector<std::pair<NodeId, NodeId>> link_endpoints_;
   std::vector<NodeId> machine_ids_;         // rank -> node
   std::vector<Rank> rank_of_node_;          // node -> rank or -1
@@ -166,6 +181,13 @@ class Topology {
   std::vector<EdgeId> parent_edge_;         // edge node -> parent
   std::vector<std::int32_t> depth_;
   std::vector<std::int32_t> subtree_machines_;  // under internal rooting
+  /// Euler-tour entry/exit indices: u is an ancestor of v iff
+  /// tour_in_[u] <= tour_in_[v] < tour_out_[u]. Makes the per-link
+  /// component queries O(1) (they were O(depth) ancestor walks, which
+  /// turned aapc_load into O(links * depth) — quadratic on chains).
+  std::vector<std::int32_t> tour_in_;
+  std::vector<std::int32_t> tour_out_;
+  std::unordered_map<std::string, NodeId> name_index_;
 };
 
 }  // namespace aapc::topology

@@ -28,8 +28,10 @@ Message msg(Rank src, Rank dst) { return Message{src, dst}; }
 
 bool phase_contains(const Schedule& schedule, std::int32_t phase,
                     Message message) {
-  const auto& v = schedule.phases[static_cast<std::size_t>(phase)];
-  return std::find(v.begin(), v.end(), message) != v.end();
+  const PhaseSpan span = schedule.phase(phase);
+  return std::any_of(
+      span.begin(), span.end(),
+      [&](const ScheduledMessage& sm) { return sm.message == message; });
 }
 
 TEST(AssignTest, PaperTable4GlobalMessages) {
@@ -115,13 +117,13 @@ TEST(AssignTest, SingleSwitchReducesToRingLikeSchedule) {
   const Topology topo = make_single_switch(8);
   const Schedule schedule = build_aapc_schedule(topo);
   ASSERT_EQ(schedule.phase_count(), 7);
-  for (const auto& phase : schedule.phases) {
-    ASSERT_EQ(phase.size(), 8u);
+  for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
+    ASSERT_EQ(schedule.phase_size(p), 8);
     std::set<Rank> senders;
     std::set<Rank> receivers;
-    for (const Message& m : phase) {
-      EXPECT_TRUE(senders.insert(m.src).second);
-      EXPECT_TRUE(receivers.insert(m.dst).second);
+    for (const ScheduledMessage& sm : schedule.phase(p)) {
+      EXPECT_TRUE(senders.insert(sm.message.src).second);
+      EXPECT_TRUE(receivers.insert(sm.message.dst).second);
     }
   }
 }
@@ -169,7 +171,7 @@ TEST(AssignTest, TrivialSizes) {
   EXPECT_EQ(build_aapc_schedule(make_single_switch(1)).phase_count(), 0);
   const Schedule two = build_aapc_schedule(make_single_switch(2));
   ASSERT_EQ(two.phase_count(), 1);
-  EXPECT_EQ(two.phases[0].size(), 2u);
+  EXPECT_EQ(two.phase_size(0), 2);
   const VerifyReport report =
       verify_schedule(make_single_switch(2), two);
   EXPECT_TRUE(report.ok) << report.summary();
@@ -179,41 +181,44 @@ TEST(AssignTest, VerifierCatchesPlantedContention) {
   // Sanity-check the verifier itself: moving a message into a phase that
   // already uses its uplink must be reported.
   const Topology topo = make_paper_figure1();
-  Schedule schedule = build_aapc_schedule(topo);
+  auto phases = build_aapc_schedule(topo).phase_lists();
   // Find two messages with the same source in different phases and merge
   // them into one phase: the shared (machine -> switch) edge contends.
   Message victim{-1, -1};
-  for (const Message& m0 : schedule.phases[0]) {
-    for (const Message& m1 : schedule.phases[1]) {
+  for (const Message& m0 : phases[0]) {
+    for (const Message& m1 : phases[1]) {
       if (m1.src == m0.src) victim = m1;
     }
   }
   ASSERT_NE(victim.src, -1);
-  schedule.phases[0].push_back(victim);
-  auto& p1 = schedule.phases[1];
+  phases[0].push_back(victim);
+  auto& p1 = phases[1];
   p1.erase(std::find(p1.begin(), p1.end(), victim));
-  const VerifyReport report = verify_schedule(topo, schedule);
+  const VerifyReport report =
+      verify_schedule(topo, Schedule::from_phase_lists(phases));
   EXPECT_FALSE(report.ok);
   EXPECT_GE(report.max_edge_multiplicity, 2);
 }
 
 TEST(AssignTest, VerifierCatchesMissingAndDuplicateMessages) {
   const Topology topo = make_paper_figure1();
-  Schedule schedule = build_aapc_schedule(topo);
-  schedule.phases[0].pop_back();
-  VerifyReport report = verify_schedule(topo, schedule);
+  auto phases = build_aapc_schedule(topo).phase_lists();
+  phases[0].pop_back();
+  VerifyReport report =
+      verify_schedule(topo, Schedule::from_phase_lists(phases));
   EXPECT_FALSE(report.ok);
 
-  Schedule duplicated = build_aapc_schedule(topo);
-  duplicated.phases[2].push_back(duplicated.phases[5].front());
-  report = verify_schedule(topo, duplicated);
+  auto duplicated = build_aapc_schedule(topo).phase_lists();
+  duplicated[2].push_back(duplicated[5].front());
+  report = verify_schedule(topo, Schedule::from_phase_lists(duplicated));
   EXPECT_FALSE(report.ok);
 }
 
 TEST(AssignTest, VerifierCatchesWrongPhaseCount) {
   const Topology topo = make_paper_figure1();
-  Schedule schedule = build_aapc_schedule(topo);
-  schedule.phases.emplace_back();  // padding phase
+  auto phases = build_aapc_schedule(topo).phase_lists();
+  phases.emplace_back();  // padding phase
+  const Schedule schedule = Schedule::from_phase_lists(phases);
   VerifyReport report = verify_schedule(topo, schedule);
   EXPECT_FALSE(report.ok);
   VerifyOptions lax;

@@ -1,0 +1,141 @@
+// Tests for the large-topology generators (switch fabrics, fat trees,
+// random LANs): structure, expected node counts, and determinism under
+// a fixed seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/rng.hpp"
+#include "aapc/core/scheduler.hpp"
+#include "aapc/core/verify.hpp"
+#include "aapc/topology/generators.hpp"
+#include "aapc/topology/io.hpp"
+
+namespace aapc::topology {
+namespace {
+
+TEST(SwitchFabricTest, CountsMatchLevelProduct) {
+  const Topology topo = make_switch_fabric({3, 4}, 5);
+  // Switches: 1 root + 3 + 12 = 16; machines: 12 leaves x 5.
+  EXPECT_EQ(topo.switch_count(), 16);
+  EXPECT_EQ(topo.machine_count(), 60);
+  // A tree: links = nodes - 1.
+  EXPECT_EQ(topo.link_count(), topo.node_count() - 1);
+}
+
+TEST(SwitchFabricTest, EmptyFanoutIsSingleSwitch) {
+  const Topology topo = make_switch_fabric({}, 7);
+  EXPECT_EQ(topo.switch_count(), 1);
+  EXPECT_EQ(topo.machine_count(), 7);
+}
+
+TEST(SwitchFabricTest, MachinesSitAtMaxDepth) {
+  const Topology topo = make_switch_fabric({2, 2}, 3);
+  for (Rank r = 0; r < topo.machine_count(); ++r) {
+    const NodeId node = topo.machine_node(r);
+    // Root (depth 0) -> level 1 -> level 2 -> machine (depth 3).
+    EXPECT_EQ(topo.path(topo.machine_node(0), node).empty(), r == 0);
+    EXPECT_EQ(topo.depth(node), 3);
+  }
+}
+
+TEST(SwitchFabricTest, SchedulesContentionFree) {
+  const Topology topo = make_switch_fabric({2, 3}, 2);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const core::VerifyReport report = core::verify_schedule(topo, schedule);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(schedule.phase_count(), topo.aapc_load());
+}
+
+TEST(FatTreeTest, PaperScaleShape) {
+  // The 4096-host configuration used by the scale benchmark, shrunk
+  // proportionally (2 pods x 4 edges x 8 hosts).
+  const Topology topo = make_fat_tree(2, 4, 8);
+  EXPECT_EQ(topo.switch_count(), 1 + 2 + 8);
+  EXPECT_EQ(topo.machine_count(), 64);
+  // Every pod subtree holds edges_per_pod * hosts_per_edge machines.
+  const NodeId root = topo.machine_node(0);
+  (void)root;
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  EXPECT_TRUE(core::verify_schedule(topo, schedule).ok);
+}
+
+TEST(FatTreeTest, FourKRankConfigurationCounts) {
+  // Don't schedule here (that's bench_schedgen_scale's job); just check
+  // the generator produces the advertised 4096 hosts quickly.
+  const Topology topo = make_fat_tree(8, 16, 32);
+  EXPECT_EQ(topo.machine_count(), 4096);
+  EXPECT_EQ(topo.switch_count(), 1 + 8 + 128);
+}
+
+TEST(RandomLanTest, CountsAndConnectivity) {
+  Rng rng(7);
+  RandomLanOptions options;
+  options.switches = 40;
+  options.machines = 300;
+  const Topology topo = make_random_lan(rng, options);
+  EXPECT_EQ(topo.switch_count(), 40);
+  EXPECT_EQ(topo.machine_count(), 300);
+  EXPECT_EQ(topo.link_count(), topo.node_count() - 1);
+  // Connectivity: every machine has a path to machine 0.
+  for (Rank r = 1; r < topo.machine_count(); ++r) {
+    EXPECT_FALSE(
+        topo.path(topo.machine_node(0), topo.machine_node(r)).empty());
+  }
+}
+
+TEST(RandomLanTest, DeterministicUnderFixedSeed) {
+  RandomLanOptions options;
+  options.switches = 32;
+  options.machines = 200;
+  Rng rng_a(123);
+  Rng rng_b(123);
+  const Topology a = make_random_lan(rng_a, options);
+  const Topology b = make_random_lan(rng_b, options);
+  EXPECT_EQ(to_dot(a), to_dot(b));
+  Rng rng_c(124);
+  const Topology c = make_random_lan(rng_c, options);
+  EXPECT_NE(to_dot(a), to_dot(c));
+}
+
+TEST(RandomLanTest, RespectsDegreeCap) {
+  Rng rng(9);
+  RandomLanOptions options;
+  options.switches = 64;
+  options.machines = 64;
+  options.max_switch_degree = 3;
+  const Topology topo = make_random_lan(rng, options);
+  // Switch-to-switch fanout is capped; machine attachments are not.
+  std::vector<std::int32_t> switch_children(
+      static_cast<std::size_t>(topo.node_count()), 0);
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.is_machine(n)) continue;
+    for (const NodeId w : topo.neighbors(n)) {
+      if (!topo.is_machine(w) && topo.parent(w) == n) {
+        ++switch_children[static_cast<std::size_t>(n)];
+      }
+    }
+  }
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (!topo.is_machine(n)) {
+      EXPECT_LE(switch_children[static_cast<std::size_t>(n)],
+                options.max_switch_degree)
+          << "switch " << topo.name(n);
+    }
+  }
+}
+
+TEST(RandomLanTest, SchedulesContentionFree) {
+  Rng rng(21);
+  RandomLanOptions options;
+  options.switches = 12;
+  options.machines = 40;
+  const Topology topo = make_random_lan(rng, options);
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  const core::VerifyReport report = core::verify_schedule(topo, schedule);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+}  // namespace
+}  // namespace aapc::topology

@@ -92,8 +92,8 @@ TEST(GreedyTest, DuplicateMessagesLandInDistinctPhases) {
   const Pattern pattern{Message{0, 1}, Message{0, 1}, Message{0, 1}};
   const Schedule schedule = greedy_schedule(topo, pattern);
   EXPECT_EQ(schedule.phase_count(), 3);
-  for (const auto& phase : schedule.phases) {
-    EXPECT_EQ(phase.size(), 1u);
+  for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
+    EXPECT_EQ(schedule.phase_size(p), 1);
   }
 }
 
@@ -191,15 +191,19 @@ TEST(PatternVerifierTest, AcceptsGreedySchedules) {
 TEST(PatternVerifierTest, DetectsMissingAndExtraMessages) {
   const Topology topo = make_single_switch(4);
   const Pattern pattern{Message{0, 1}, Message{2, 3}};
-  Schedule schedule = greedy_schedule(topo, pattern);
+  const Schedule schedule = greedy_schedule(topo, pattern);
   // Drop one message.
-  Schedule missing = schedule;
-  missing.phases[0].pop_back();
-  EXPECT_FALSE(verify_schedule_pattern(topo, missing, pattern).ok);
+  auto missing = schedule.phase_lists();
+  missing[0].pop_back();
+  EXPECT_FALSE(verify_schedule_pattern(
+                   topo, Schedule::from_phase_lists(missing), pattern)
+                   .ok);
   // Add an unexpected one.
-  Schedule extra = schedule;
-  extra.phases.push_back({Message{1, 0}});
-  EXPECT_FALSE(verify_schedule_pattern(topo, extra, pattern).ok);
+  auto extra = schedule.phase_lists();
+  extra.push_back({Message{1, 0}});
+  EXPECT_FALSE(verify_schedule_pattern(
+                   topo, Schedule::from_phase_lists(extra), pattern)
+                   .ok);
 }
 
 TEST(PatternVerifierTest, CountsMultiplicity) {
@@ -216,8 +220,8 @@ TEST(PatternVerifierTest, PhaseCountBelowLoadRejected) {
   const Topology topo = make_single_switch(3);
   // Two messages from rank 0 forced into one phase: contention AND a
   // phase count below the pattern load.
-  Schedule schedule;
-  schedule.phases = {{Message{0, 1}, Message{0, 2}}};
+  const Schedule schedule =
+      Schedule::from_phase_lists({{Message{0, 1}, Message{0, 2}}});
   const Pattern pattern{Message{0, 1}, Message{0, 2}};
   const VerifyReport report =
       verify_schedule_pattern(topo, schedule, pattern);

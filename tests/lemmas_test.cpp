@@ -53,10 +53,11 @@ TEST_P(LemmaRandomTest, Lemma4GlobalMessagesAloneAreContentionFree) {
   const Fixture fixture = make_fixture(GetParam());
   // Rebuild a schedule holding only the global messages and check
   // per-phase edge-disjointness.
-  for (const auto& phase : fixture.schedule.phases) {
+  for (std::int32_t p = 0; p < fixture.schedule.phase_count(); ++p) {
     std::vector<std::int32_t> edge_use(
         static_cast<std::size_t>(fixture.topo.directed_edge_count()), 0);
-    for (const Message& m : phase) {
+    for (const ScheduledMessage& sm : fixture.schedule.phase(p)) {
+      const Message& m = sm.message;
       if (fixture.dec.subtree_of[m.src] == fixture.dec.subtree_of[m.dst]) {
         continue;  // local
       }
@@ -74,10 +75,11 @@ TEST_P(LemmaRandomTest, Lemma2NoTwoGroupsUseARootLinkPerPhase) {
   // Per phase: each subtree sends at most one global message and
   // receives at most one (its root link is double-booked otherwise).
   const std::int32_t k = fixture.dec.subtree_count();
-  for (const auto& phase : fixture.schedule.phases) {
+  for (std::int32_t p = 0; p < fixture.schedule.phase_count(); ++p) {
     std::vector<std::int32_t> sending(k, 0);
     std::vector<std::int32_t> receiving(k, 0);
-    for (const Message& m : phase) {
+    for (const ScheduledMessage& sm : fixture.schedule.phase(p)) {
+      const Message& m = sm.message;
       const std::int32_t si = fixture.dec.subtree_of[m.src];
       const std::int32_t di = fixture.dec.subtree_of[m.dst];
       if (si == di) continue;
@@ -97,8 +99,9 @@ TEST_P(LemmaRandomTest, DesignatedReceiverAlignmentHolds) {
   const GlobalSchedule global(fixture.sizes);
   const std::int64_t P = fixture.total_phases;
   for (std::int64_t p = 0; p < P; ++p) {
-    for (const Message& m :
-         fixture.schedule.phases[static_cast<std::size_t>(p)]) {
+    for (const ScheduledMessage& sm :
+         fixture.schedule.phase(static_cast<std::int32_t>(p))) {
+      const Message& m = sm.message;
       const std::int32_t u = fixture.dec.subtree_of[m.src];
       const std::int32_t j = fixture.dec.subtree_of[m.dst];
       if (u == j) continue;

@@ -170,9 +170,10 @@ TEST(LoweringTest, CorruptedScheduleFailsContentionCheck) {
   core::Schedule schedule = core::build_aapc_schedule(topo);
   ASSERT_GE(schedule.phase_count(), 2);
   const std::int32_t last = schedule.phase_count() - 1;
-  const core::Message stray = schedule.phases[last][0];
-  schedule.phases[last].push_back(stray);
+  // Appending to the final phase keeps the arena phase-sorted.
+  const core::Message stray = schedule.phase(last)[0].message;
   schedule.messages.push_back({stray, last, core::MessageScope::kGlobal});
+  schedule.phase_begin.back() += 1;
   try {
     lower_schedule(topo, schedule, 8_KiB);
     FAIL() << "expected InvalidArgument for a contended phase";

@@ -20,8 +20,12 @@ TEST(ScheduleIoTest, RoundTripPreservesPhases) {
   const std::string json = schedule_to_json(original, topo.machine_count());
   const Schedule loaded = schedule_from_json(json, topo.machine_count());
   ASSERT_EQ(loaded.phase_count(), original.phase_count());
+  const auto loaded_phases = loaded.phase_lists();
+  const auto original_phases = original.phase_lists();
   for (std::int32_t p = 0; p < original.phase_count(); ++p) {
-    EXPECT_EQ(loaded.phases[p], original.phases[p]) << "phase " << p;
+    EXPECT_EQ(loaded_phases[static_cast<std::size_t>(p)],
+              original_phases[static_cast<std::size_t>(p)])
+        << "phase " << p;
   }
   // The loaded schedule still verifies against the topology.
   const VerifyReport report = verify_schedule(topo, loaded);
@@ -29,8 +33,8 @@ TEST(ScheduleIoTest, RoundTripPreservesPhases) {
 }
 
 TEST(ScheduleIoTest, GoldenFormat) {
-  Schedule schedule;
-  schedule.phases = {{Message{0, 1}, Message{1, 2}}, {}, {Message{2, 0}}};
+  const Schedule schedule = Schedule::from_phase_lists(
+      {{Message{0, 1}, Message{1, 2}}, {}, {Message{2, 0}}});
   EXPECT_EQ(schedule_to_json(schedule, 3),
             "{\"machines\":3,\"phases\":[[[0,1],[1,2]],[],[[2,0]]]}");
 }
@@ -46,7 +50,7 @@ TEST(ScheduleIoTest, ParsesWithWhitespace) {
     }
   )");
   ASSERT_EQ(schedule.phase_count(), 2);
-  EXPECT_EQ(schedule.phases[0].size(), 2u);
+  EXPECT_EQ(schedule.phase_size(0), 2);
   EXPECT_EQ(schedule.messages.size(), 3u);
   EXPECT_EQ(schedule.messages[2].phase, 1);
 }

@@ -162,11 +162,8 @@ TEST_P(CanonicalRandomTest, PermutationRewritesSchedules) {
   // the canonical schedule phase by phase.
   const core::Schedule round_trip =
       core::relabel_schedule(rewritten, canon.to_canonical);
-  ASSERT_EQ(round_trip.phases.size(), canonical_schedule.phases.size());
-  for (std::size_t p = 0; p < round_trip.phases.size(); ++p) {
-    EXPECT_EQ(round_trip.phases[p], canonical_schedule.phases[p])
-        << "phase " << p;
-  }
+  ASSERT_EQ(round_trip.phase_count(), canonical_schedule.phase_count());
+  EXPECT_EQ(round_trip.phase_begin, canonical_schedule.phase_begin);
   EXPECT_EQ(round_trip.messages, canonical_schedule.messages);
 }
 

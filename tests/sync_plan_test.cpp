@@ -23,15 +23,7 @@ using topology::Topology;
 
 Schedule make_schedule(
     const std::vector<std::vector<Message>>& phases) {
-  Schedule schedule;
-  schedule.phases = phases;
-  for (std::size_t p = 0; p < phases.size(); ++p) {
-    for (const Message& m : phases[p]) {
-      schedule.messages.push_back(ScheduledMessage{
-          m, static_cast<std::int32_t>(p), MessageScope::kGlobal});
-    }
-  }
-  return schedule;
+  return Schedule::from_phase_lists(phases);
 }
 
 TEST(SyncPlanTest, ChainIsTransitivelyReduced) {
