@@ -1,0 +1,138 @@
+// aapc_netd: the TCP serving front-end for the schedule-compilation
+// service. Binds a listening socket, spawns the epoll event loops and
+// the sharded ScheduleService backend, and serves the binary protocol
+// of docs/NETD.md until --duration elapses or SIGINT/SIGTERM arrives;
+// shutdown drains in-flight compilations (bounded by
+// --drain-deadline) before closing connections.
+//
+// Run:  ./aapc_netd --port 18211
+//       ./aapc_netd --port 18211 --shards 4 --dispatch-threads 8
+//       ./aapc_netd --port 18211 --tenant-rate 100 --tenant-burst 32
+//       ./aapc_netd --port 18211 --duration 10 --metrics-out netd.json
+//
+// The bound port is printed as "listening on <host>:<port>" before
+// serving starts (flushed, so a harness can scrape it when --port 0
+// picked an ephemeral port). --metrics-out writes the merged registry
+// snapshot — front-end series plus per-shard aapc_service_* series —
+// at shutdown.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "aapc/common/cli.hpp"
+#include "aapc/netd/server.hpp"
+#include "aapc/obs/exposition.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aapc;
+  CliParser cli(
+      "aapc_netd: TCP front-end serving compiled AAPC schedules over the\n"
+      "length-prefixed binary protocol of docs/NETD.md.");
+  cli.add_flag("host", "listen address", "127.0.0.1");
+  cli.add_flag("port", "listen port (0 = ephemeral)", "18211");
+  cli.add_flag("event-loops", "epoll event-loop threads", "2");
+  cli.add_flag("dispatch-threads", "compile dispatch workers", "4");
+  cli.add_flag("shards", "backend ScheduleService instances", "2");
+  cli.add_flag("dispatch-queue", "dispatch queue bound", "256");
+  cli.add_flag("max-connections", "concurrent connection cap", "4096");
+  cli.add_flag("tenant-rate",
+               "per-tenant requests/second quota (0 disables)", "0");
+  cli.add_flag("tenant-burst", "per-tenant burst allowance", "64");
+  cli.add_flag("cache-capacity", "schedule-cache entries per shard", "256");
+  cli.add_flag("compiler-threads", "compiler pool workers per shard", "2");
+  cli.add_flag("queue-capacity", "compiler pool queue bound per shard", "64");
+  cli.add_flag("duration",
+               "seconds to serve before exiting (0 = until SIGINT)", "0");
+  cli.add_flag("drain-deadline",
+               "max seconds to drain in-flight work on shutdown", "10");
+  cli.add_flag("metrics-out",
+               "write the merged registry snapshot (front-end + per-shard "
+               "service series) to this file as JSON at shutdown");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  netd::ServerOptions options;
+  options.host = cli.get_or("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(cli.get_u64("port", 18211));
+  options.event_loops = static_cast<std::int32_t>(cli.get_u64("event-loops", 2));
+  options.dispatch_threads =
+      static_cast<std::int32_t>(cli.get_u64("dispatch-threads", 4));
+  options.shards = static_cast<std::int32_t>(cli.get_u64("shards", 2));
+  options.dispatch_queue_capacity =
+      static_cast<std::int32_t>(cli.get_u64("dispatch-queue", 256));
+  options.admission.max_connections =
+      static_cast<std::int64_t>(cli.get_u64("max-connections", 4096));
+  options.admission.tenant_rate = cli.get_double("tenant-rate", 0);
+  options.admission.tenant_burst = cli.get_double("tenant-burst", 64);
+  options.service.cache_capacity = cli.get_u64("cache-capacity", 256);
+  options.service.compiler_threads =
+      static_cast<std::int32_t>(cli.get_u64("compiler-threads", 2));
+  options.service.queue_capacity =
+      static_cast<std::int32_t>(cli.get_u64("queue-capacity", 64));
+  options.drain_deadline_seconds = cli.get_double("drain-deadline", 10);
+  const double duration = cli.get_double("duration", 0);
+
+  netd::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << options.host << ":" << server.port()
+            << std::endl;  // flush: harnesses scrape the bound port
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (duration > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= duration) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "draining..." << std::endl;
+  server.stop();
+
+  const obs::RegistrySnapshot snapshot = server.metrics_snapshot();
+  std::cout << "served "
+            << static_cast<std::int64_t>(
+                   snapshot.total("aapc_netd_requests_total"))
+            << " requests over "
+            << static_cast<std::int64_t>(
+                   snapshot.value("aapc_netd_connections_total"))
+            << " connections\n";
+  if (cli.has("metrics-out")) {
+    const std::string path = cli.get("metrics-out");
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::cerr << "FAIL: cannot open metrics output file " << path << "\n";
+      return 1;
+    }
+    out << obs::to_json(snapshot) << "\n";
+    if (!out.good()) {
+      std::cerr << "FAIL: short write to " << path << "\n";
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,85 +1,59 @@
 // Schedule-compilation service driver: replays a synthetic multi-tenant
-// workload against service::ScheduleService and prints the metrics
-// snapshot.
+// workload against the schedule service — in-process by default, or
+// over TCP against a running aapc_netd front-end with --connect — and
+// prints the metrics snapshot.
 //
 // Tenants request AAPC routines for a pool of clusters whose popularity
 // follows a zipfian distribution (a few hot clusters, a long tail), and
 // each request arrives under a fresh rank labeling of its cluster — the
 // situation the canonicalized cache is built for: relabeled isomorphic
-// topologies must coalesce onto one cached artifact.
+// topologies must coalesce onto one cached artifact. The same replay
+// drives both transports, so the CI hit-rate gate holds the TCP path to
+// the in-process standard.
 //
 // Run:  ./aapc_serviced --requests 200 --threads 8
 //       ./aapc_serviced --requests 500 --threads 16 --cache-capacity 4
 //       ./aapc_serviced --requests 200 --threads 8 --min-hit-rate 0.5
+//       ./aapc_serviced --requests 200 --connect 127.0.0.1:18211
 //       ./aapc_serviced --requests 200 --metrics-out metrics.json
 //
 // --min-hit-rate makes the exit status assert the cache worked (used by
 // the CI smoke test); --metrics-out writes the full registry snapshot
-// as JSON (obs::to_json — parse back with obs::snapshot_from_json).
+// as JSON (obs::to_json — parse back with obs::snapshot_from_json). In
+// --connect mode the snapshot is fetched from the server (its merged
+// front-end + per-shard view) and hit/coalesce rates come from the
+// response flags.
+#include <algorithm>
 #include <atomic>
-#include <cmath>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "aapc/common/cli.hpp"
 #include "aapc/common/rng.hpp"
-#include "aapc/common/table.hpp"
 #include "aapc/common/units.hpp"
+#include "aapc/netd/client.hpp"
 #include "aapc/obs/exposition.hpp"
 #include "aapc/service/service.hpp"
-#include "aapc/topology/generators.hpp"
+#include "aapc/topology/io.hpp"
+#include "workload.hpp"
 
 namespace {
 
-using aapc::Rng;
-using aapc::topology::NodeId;
 using aapc::topology::Topology;
 
-/// The same physical cluster under a fresh rank/switch labeling.
-Topology shuffled_copy(const Topology& topo, Rng& rng) {
-  const std::int32_t n = topo.node_count();
-  std::vector<NodeId> order(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
-  rng.shuffle(order);
-  Topology out;
-  std::vector<NodeId> new_id(static_cast<std::size_t>(n));
-  for (const NodeId old : order) {
-    new_id[static_cast<std::size_t>(old)] =
-        topo.is_machine(old) ? out.add_machine() : out.add_switch();
-  }
-  for (aapc::topology::LinkId l = 0; l < topo.link_count(); ++l) {
-    const auto [a, b] = topo.link_endpoints(l);
-    out.add_link(new_id[static_cast<std::size_t>(a)],
-                 new_id[static_cast<std::size_t>(b)]);
-  }
-  out.finalize();
-  return out;
-}
-
-/// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s.
-class ZipfSampler {
- public:
-  ZipfSampler(std::size_t n, double s) : cdf_(n) {
-    double total = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
-      cdf_[i] = total;
-    }
-    for (double& c : cdf_) c /= total;
-  }
-  std::size_t sample(Rng& rng) const {
-    const double u = rng.next_double();
-    for (std::size_t i = 0; i < cdf_.size(); ++i) {
-      if (u <= cdf_[i]) return i;
-    }
-    return cdf_.size() - 1;
-  }
-
- private:
-  std::vector<double> cdf_;
+struct Counters {
+  std::atomic<std::int64_t> issued{0};
+  std::atomic<std::int64_t> served{0};
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<std::int64_t> coalesced{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> compile_errors{0};
 };
 
 }  // namespace
@@ -97,6 +71,9 @@ int main(int argc, char** argv) {
   cli.add_flag("compiler-threads", "compiler pool workers", "4");
   cli.add_flag("queue-capacity", "compiler pool queue bound", "64");
   cli.add_flag("seed", "workload rng seed", "1");
+  cli.add_flag("connect",
+               "host:port of a running aapc_netd; drive it over TCP instead "
+               "of the in-process service");
   cli.add_flag("min-hit-rate",
                "exit nonzero unless cache hit rate reaches this", "-1");
   cli.add_flag("metrics-out",
@@ -115,6 +92,21 @@ int main(int argc, char** argv) {
   const double zipf_s = cli.get_double("zipf", 1.1);
   const std::uint64_t seed = cli.get_u64("seed", 1);
   const double min_hit_rate = cli.get_double("min-hit-rate", -1);
+  const bool remote = cli.has("connect");
+  std::string remote_host = "127.0.0.1";
+  std::uint16_t remote_port = 0;
+  if (remote) {
+    const std::string endpoint = cli.get("connect");
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+      std::cerr << "FAIL: --connect expects host:port, got \"" << endpoint
+                << "\"\n";
+      return 1;
+    }
+    remote_host = endpoint.substr(0, colon);
+    remote_port = static_cast<std::uint16_t>(
+        std::stoul(endpoint.substr(colon + 1)));
+  }
 
   service::ServiceOptions options;
   options.cache_capacity = cli.get_u64("cache-capacity", 256);
@@ -123,49 +115,69 @@ int main(int argc, char** argv) {
   options.queue_capacity =
       static_cast<std::int32_t>(cli.get_u64("queue-capacity", 64));
 
-  // Tenant pool: the paper's three evaluation clusters plus random
-  // machine-room trees, hottest first.
-  std::vector<Topology> pool;
-  pool.push_back(topology::make_paper_topology_c());
-  pool.push_back(topology::make_paper_topology_b());
-  pool.push_back(topology::make_paper_figure1());
-  Rng pool_rng(seed * 7919 + 11);
-  while (pool.size() < pool_size) {
-    topology::RandomTreeOptions tree;
-    tree.switches = static_cast<std::int32_t>(pool_rng.next_in(1, 6));
-    tree.machines = static_cast<std::int32_t>(pool_rng.next_in(4, 24));
-    pool.push_back(topology::make_random_tree(pool_rng, tree));
-  }
-  const ZipfSampler zipf(pool.size(), zipf_s);
+  const std::vector<Topology> pool =
+      examples::make_tenant_pool(pool_size, seed);
+  const examples::ZipfSampler zipf(pool.size(), zipf_s);
   const Bytes sizes[] = {8_KiB, 64_KiB, 256_KiB};
 
-  service::ScheduleService service(options);
-  std::atomic<std::int64_t> issued{0};
-  std::atomic<std::int64_t> served{0};
-  std::atomic<std::int64_t> retries{0};
-  std::atomic<std::int64_t> compile_errors{0};
+  std::unique_ptr<service::ScheduleService> local;
+  if (!remote) local = std::make_unique<service::ScheduleService>(options);
+
+  Counters counters;
   std::vector<std::thread> tenants;
   tenants.reserve(static_cast<std::size_t>(threads));
   for (std::int64_t t = 0; t < threads; ++t) {
     tenants.emplace_back([&, t] {
       Rng rng(seed * 104729 + static_cast<std::uint64_t>(t));
+      const std::string tenant_id = "tenant-" + std::to_string(t);
+      std::unique_ptr<netd::Client> client;
+      if (remote) {
+        try {
+          client = std::make_unique<netd::Client>(remote_host, remote_port);
+        } catch (const std::exception& e) {
+          std::cerr << "connect failed: " << e.what() << "\n";
+          counters.compile_errors.fetch_add(1);
+          return;
+        }
+      }
       for (;;) {
-        if (issued.fetch_add(1) >= requests) break;
+        if (counters.issued.fetch_add(1) >= requests) break;
         const Topology& base = pool[zipf.sample(rng)];
         // Every tenant sees its cluster under its own labeling.
-        const Topology topo = shuffled_copy(base, rng);
+        const Topology topo = examples::shuffled_copy(base, rng);
         const Bytes msize =
             sizes[rng.next_below(sizeof(sizes) / sizeof(sizes[0]))];
         for (;;) {
           try {
-            service.compile(topo, msize);
-            served.fetch_add(1);
+            if (remote) {
+              const netd::ResponseFrame response =
+                  client->compile(topo, msize, tenant_id);
+              if (response.cache_hit) counters.hits.fetch_add(1);
+              if (response.coalesced) counters.coalesced.fetch_add(1);
+            } else {
+              const service::CompiledRoutine routine =
+                  local->compile(topo, msize);
+              if (routine.cache_hit) counters.hits.fetch_add(1);
+              if (routine.coalesced) counters.coalesced.fetch_add(1);
+            }
+            counters.served.fetch_add(1);
             break;
           } catch (const service::ServiceOverloaded&) {
-            retries.fetch_add(1);
+            counters.retries.fetch_add(1);
             std::this_thread::yield();
+          } catch (const netd::RemoteError& e) {
+            if (e.code() == netd::ErrorCode::kOverloaded ||
+                e.code() == netd::ErrorCode::kQuotaExceeded) {
+              counters.retries.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  std::min(std::max(e.retry_after_seconds(), 1e-3), 0.25)));
+            } else {
+              counters.compile_errors.fetch_add(1);
+              std::cerr << "compile failed: " << e.what() << "\n";
+              break;
+            }
           } catch (const std::exception& e) {
-            compile_errors.fetch_add(1);
+            counters.compile_errors.fetch_add(1);
             std::cerr << "compile failed: " << e.what() << "\n";
             break;
           }
@@ -175,12 +187,23 @@ int main(int argc, char** argv) {
   }
   for (std::thread& tenant : tenants) tenant.join();
 
-  const service::MetricsSnapshot metrics = service.metrics();
+  const std::int64_t served = counters.served.load();
+  const double hit_rate =
+      served > 0 ? static_cast<double>(counters.hits.load()) /
+                       static_cast<double>(served)
+                 : 0;
   std::cout << "workload: " << requests << " requests, " << threads
             << " tenant threads, " << pool.size() << " clusters (zipf "
-            << zipf_s << "), retries after overload: " << retries.load()
-            << "\n\n"
-            << metrics.to_string() << "\n";
+            << zipf_s << "), retries after overload: "
+            << counters.retries.load() << "\n\n";
+  if (remote) {
+    std::cout << "transport: tcp " << remote_host << ":" << remote_port
+              << "\nserved " << served << ", cache hits "
+              << counters.hits.load() << " (rate " << hit_rate
+              << "), coalesced " << counters.coalesced.load() << "\n";
+  } else {
+    std::cout << local->metrics().to_string() << "\n";
+  }
 
   if (cli.has("metrics-out")) {
     const std::string path = cli.get("metrics-out");
@@ -189,7 +212,19 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: cannot open metrics output file " << path << "\n";
       return 1;
     }
-    out << obs::to_json(service.metrics_snapshot()) << "\n";
+    if (remote) {
+      // The server's merged view: front-end series + per-shard service
+      // series, already JSON on the wire.
+      try {
+        netd::Client client(remote_host, remote_port);
+        out << client.fetch_metrics_json() << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << "FAIL: metrics fetch failed: " << e.what() << "\n";
+        return 1;
+      }
+    } else {
+      out << obs::to_json(local->metrics_snapshot()) << "\n";
+    }
     if (!out.good()) {
       std::cerr << "FAIL: short write to " << path << "\n";
       return 1;
@@ -197,14 +232,16 @@ int main(int argc, char** argv) {
     std::cout << "metrics snapshot written to " << path << "\n";
   }
 
-  if (compile_errors.load() > 0 || served.load() != requests) {
-    std::cerr << "FAIL: " << compile_errors.load() << " compile errors, "
-              << served.load() << "/" << requests << " served\n";
+  if (counters.compile_errors.load() > 0 || served != requests) {
+    std::cerr << "FAIL: " << counters.compile_errors.load()
+              << " compile errors, " << served << "/" << requests
+              << " served\n";
     return 1;
   }
-  if (min_hit_rate >= 0 && metrics.hit_rate() < min_hit_rate) {
-    std::cerr << "FAIL: cache hit rate " << metrics.hit_rate()
-              << " below required " << min_hit_rate << "\n";
+  const double gate_rate = remote ? hit_rate : local->metrics().hit_rate();
+  if (min_hit_rate >= 0 && gate_rate < min_hit_rate) {
+    std::cerr << "FAIL: cache hit rate " << gate_rate << " below required "
+              << min_hit_rate << "\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,81 @@
+// Shared synthetic-workload pieces for the service drivers
+// (aapc_serviced, aapc_loadgen): the zipfian tenant-pool model — a few
+// hot clusters, a long tail — and the relabeling shuffle that makes
+// every request arrive under a fresh rank labeling of its cluster.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/topology/generators.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::examples {
+
+/// The same physical cluster under a fresh rank/switch labeling.
+inline topology::Topology shuffled_copy(const topology::Topology& topo,
+                                        Rng& rng) {
+  using topology::NodeId;
+  const std::int32_t n = topo.node_count();
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  topology::Topology out;
+  std::vector<NodeId> new_id(static_cast<std::size_t>(n));
+  for (const NodeId old : order) {
+    new_id[static_cast<std::size_t>(old)] =
+        topo.is_machine(old) ? out.add_machine() : out.add_switch();
+  }
+  for (topology::LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto [a, b] = topo.link_endpoints(l);
+    out.add_link(new_id[static_cast<std::size_t>(a)],
+                 new_id[static_cast<std::size_t>(b)]);
+  }
+  out.finalize();
+  return out;
+}
+
+/// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Tenant pool: the paper's three evaluation clusters plus random
+/// machine-room trees, hottest first. Deterministic in `seed`.
+inline std::vector<topology::Topology> make_tenant_pool(std::size_t pool_size,
+                                                        std::uint64_t seed) {
+  std::vector<topology::Topology> pool;
+  pool.push_back(topology::make_paper_topology_c());
+  pool.push_back(topology::make_paper_topology_b());
+  pool.push_back(topology::make_paper_figure1());
+  Rng pool_rng(seed * 7919 + 11);
+  while (pool.size() < pool_size) {
+    topology::RandomTreeOptions tree;
+    tree.switches = static_cast<std::int32_t>(pool_rng.next_in(1, 6));
+    tree.machines = static_cast<std::int32_t>(pool_rng.next_in(4, 24));
+    pool.push_back(topology::make_random_tree(pool_rng, tree));
+  }
+  return pool;
+}
+
+}  // namespace aapc::examples

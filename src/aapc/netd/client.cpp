@@ -1,0 +1,126 @@
+#include "aapc/netd/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "aapc/topology/io.hpp"
+
+namespace aapc::netd {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  AAPC_CHECK_MSG(fd_ >= 0, "socket: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  AAPC_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "invalid address '" << host << "'");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("connect " + host + ":" + std::to_string(port) + ": " +
+                std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_write() {
+  AAPC_REQUIRE(fd_ >= 0, "client is not connected");
+  ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  AAPC_REQUIRE(fd_ >= 0, "client is not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::read_frame() {
+  AAPC_REQUIRE(fd_ >= 0, "client is not connected");
+  while (true) {
+    if (std::optional<Frame> frame = decoder_.next()) return *frame;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw Error(std::string("recv: ") + std::strerror(errno));
+    throw Error("server closed the connection" +
+                std::string(decoder_.buffered() > 0 ? " mid-frame" : ""));
+  }
+}
+
+ResponseFrame Client::roundtrip(const std::string& frame_bytes,
+                                std::uint64_t request_id) {
+  send_raw(frame_bytes);
+  const Frame frame = read_frame();
+  if (frame.header.type == FrameType::kError) {
+    throw RemoteError(decode_error(frame));
+  }
+  ResponseFrame response = decode_response(frame);
+  if (response.request_id != request_id) {
+    throw ProtocolError("response for request " +
+                        std::to_string(response.request_id) +
+                        " while waiting on " + std::to_string(request_id));
+  }
+  return response;
+}
+
+ResponseFrame Client::compile(const topology::Topology& topo,
+                              Bytes message_bytes,
+                              const std::string& tenant) {
+  return compile_serialized(topology::serialize_topology(topo), message_bytes,
+                            tenant);
+}
+
+ResponseFrame Client::compile_serialized(const std::string& topology_text,
+                                         Bytes message_bytes,
+                                         const std::string& tenant) {
+  RequestFrame request;
+  request.request_id = next_request_id_++;
+  request.message_bytes = message_bytes;
+  request.tenant = tenant;
+  request.topology_text = topology_text;
+  return roundtrip(encode_request(request), request.request_id);
+}
+
+std::string Client::fetch_metrics_json() {
+  const std::uint64_t request_id = next_request_id_++;
+  send_raw(encode_metrics_request(request_id));
+  const Frame frame = read_frame();
+  if (frame.header.type == FrameType::kError) {
+    throw RemoteError(decode_error(frame));
+  }
+  return decode_metrics_response(frame);
+}
+
+}  // namespace aapc::netd

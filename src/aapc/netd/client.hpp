@@ -1,0 +1,81 @@
+// Blocking client for the aapc_netd wire protocol (netd/wire.hpp,
+// docs/NETD.md): one TCP connection, synchronous request/response.
+// Used by examples/aapc_loadgen.cpp, aapc_serviced --connect, and the
+// loopback tests. Error frames from the server surface as RemoteError
+// carrying the structured code and retry-after hint, so callers can
+// implement the documented backoff contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "aapc/common/error.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/netd/wire.hpp"
+#include "aapc/topology/topology.hpp"
+
+namespace aapc::netd {
+
+/// The server answered with an error frame.
+class RemoteError : public Error {
+ public:
+  explicit RemoteError(ErrorFrame frame)
+      : Error(std::string(error_code_name(frame.code)) + ": " +
+              frame.message),
+        frame_(std::move(frame)) {}
+
+  ErrorCode code() const { return frame_.code; }
+  double retry_after_seconds() const { return frame_.retry_after_ms / 1e3; }
+  const ErrorFrame& frame() const { return frame_; }
+
+ private:
+  ErrorFrame frame_;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws aapc::Error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Requests the routine for `topo` at `message_bytes` under `tenant`
+  /// and blocks for the response. Throws RemoteError on an error
+  /// frame, ProtocolError on a malformed response, aapc::Error on
+  /// transport failure (server closed the connection, short write...).
+  ResponseFrame compile(const topology::Topology& topo, Bytes message_bytes,
+                        const std::string& tenant = "default");
+
+  /// Same with a pre-serialized docs/FORMATS.md §1 topology (loadgen
+  /// serializes each pool entry once instead of per request).
+  ResponseFrame compile_serialized(const std::string& topology_text,
+                                   Bytes message_bytes,
+                                   const std::string& tenant = "default");
+
+  /// Fetches the server's merged obs registry snapshot as JSON.
+  std::string fetch_metrics_json();
+
+  /// Raw frame I/O for protocol tests: sends arbitrary bytes, reads
+  /// the next frame (or throws when the server closes first).
+  void send_raw(std::string_view bytes);
+  Frame read_frame();
+
+  /// Half-close test support: shuts down the write side.
+  void shutdown_write();
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  ResponseFrame roundtrip(const std::string& frame_bytes,
+                          std::uint64_t request_id);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace aapc::netd

@@ -1,0 +1,117 @@
+// aapc_netd: TCP serving front-end for the schedule-compilation
+// service (the wire behind docs/SERVICE.md; protocol in netd/wire.hpp,
+// spec in docs/NETD.md).
+//
+// Threading model (non-blocking, edge-triggered epoll):
+//
+//   acceptor thread      accept4(), connection admission, round-robin
+//                        hand-off to an event loop
+//   N event loops        epoll_wait per loop; reads bytes, decodes
+//                        frames, answers protocol/quota/drain errors
+//                        inline, enqueues compile work
+//   M dispatchers        parse topology, canonicalize, route to the
+//                        backend shard canonical_hash % shards, run
+//                        ScheduleService::compile, encode the response
+//                        and hand it back to the connection's loop
+//
+// Backend sharding: the server owns `shards` independent
+// ScheduleService instances; a request is dispatched by its canonical
+// topology hash, so isomorphic (relabeled) topologies always land on
+// the same shard and its cache, and shard count scales the compile
+// backend horizontally behind one listening socket.
+//
+// Pressure valves, outermost first — every rejection is a structured
+// error frame with a retry-after hint, never a dropped connection:
+//   1. connection cap            kConnectionLimit (frame, then close)
+//   2. per-tenant token bucket   kQuotaExceeded
+//   3. bounded dispatch queue    kOverloaded
+//   4. compiler-pool saturation  kOverloaded (ServiceOverloaded's hint)
+//
+// Shutdown drains: stop() closes the listener, fails *new* requests
+// with kShuttingDown, but lets everything already dispatched finish
+// (bounded by ServerOptions::drain_deadline_seconds) and flushes the
+// responses before closing connections — in-flight compilations are
+// never abandoned mid-future. SIGPIPE is ignored process-wide on
+// start(); client disconnect mid-response shows up as a counted
+// EPIPE/ECONNRESET drop, not a crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aapc/netd/admission.hpp"
+#include "aapc/netd/wire.hpp"
+#include "aapc/obs/metrics.hpp"
+#include "aapc/service/service.hpp"
+
+namespace aapc::netd {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default: the front-end is meant to
+  /// sit behind a deployment's own ingress, not on the open internet.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with Server::port().
+  std::uint16_t port = 0;
+  /// Event-loop (epoll) threads.
+  std::int32_t event_loops = 2;
+  /// Compile-dispatch worker threads, shared across shards.
+  std::int32_t dispatch_threads = 4;
+  /// Independent ScheduleService backend instances.
+  std::int32_t shards = 2;
+  /// Requests queued for dispatch before kOverloaded rejections.
+  std::int32_t dispatch_queue_capacity = 256;
+  /// Connection cap and per-tenant token buckets.
+  AdmissionOptions admission;
+  /// Configuration applied to every backend shard.
+  service::ServiceOptions service;
+  /// stop() waits at most this long for dispatched requests to finish
+  /// before failing the not-yet-started remainder with kShuttingDown.
+  double drain_deadline_seconds = 10;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  /// Stops (gracefully, see stop()) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns acceptor + event loops + dispatchers.
+  void start();
+
+  /// Graceful shutdown: close the listener, drain in-flight requests
+  /// (bounded by drain_deadline_seconds), flush responses, close
+  /// connections, join every thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after start()).
+  std::uint16_t port() const;
+  std::int64_t active_connections() const;
+
+  /// Merged registry snapshot: the netd front-end series plus every
+  /// backend shard's aapc_service_* series labeled {shard="<i>"} —
+  /// one document for the obs exporters (docs/OBSERVABILITY.md).
+  obs::RegistrySnapshot metrics_snapshot() const;
+
+  /// Backend shard access for tests (count = options().shards).
+  service::ScheduleService& shard(std::int32_t index);
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class EventLoop;
+  friend class Dispatcher;
+  struct Impl;
+
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aapc::netd

@@ -1,0 +1,257 @@
+#include "aapc/netd/wire.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "aapc/common/bytes.hpp"
+
+namespace aapc::netd {
+
+namespace {
+
+/// Largest rank-permutation element count a response may declare.
+/// Bounded by what fits in the payload anyway; checked explicitly so a
+/// corrupt count fails with a clear message instead of a truncation.
+constexpr std::uint32_t kMaxRanks = 1u << 20;
+
+std::string finish_frame(FrameType type, std::uint64_t request_id,
+                         std::string payload) {
+  AAPC_REQUIRE(payload.size() <= kMaxPayload,
+               "frame payload of " << payload.size()
+                                   << " bytes exceeds kMaxPayload");
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // reserved
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return w.take();
+}
+
+/// Re-throws payload parse failures as ProtocolError with context, so
+/// transport callers only have to catch one type for malformed frames.
+template <typename Fn>
+auto parse_payload(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const Error& e) {
+    throw ProtocolError(std::string("malformed ") + what + " payload: " +
+                        e.what());
+  }
+}
+
+void require_type(const Frame& frame, FrameType expected, const char* what) {
+  if (frame.header.type != expected) {
+    throw ProtocolError(std::string("expected a ") + what + " frame, got "
+                        "type " +
+                        std::to_string(static_cast<int>(frame.header.type)));
+  }
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case ErrorCode::kConnectionLimit:
+      return "connection_limit";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const RequestFrame& request) {
+  ByteWriter w;
+  w.u64(request.message_bytes);
+  w.str(request.tenant);
+  w.str(request.topology_text);
+  return finish_frame(FrameType::kRequest, request.request_id, w.take());
+}
+
+std::string encode_response(const ResponseFrame& response) {
+  ByteWriter w;
+  w.u8(response.cache_hit ? 1 : 0);
+  w.u8(response.coalesced ? 1 : 0);
+  w.u16(0);  // reserved
+  w.u32(response.shard);
+  w.u64(response.canonical_hash);
+  w.u32(static_cast<std::uint32_t>(response.to_canonical.size()));
+  for (const topology::Rank rank : response.to_canonical) {
+    w.u32(static_cast<std::uint32_t>(rank));
+  }
+  w.str(response.schedule_json);
+  return finish_frame(FrameType::kResponse, response.request_id, w.take());
+}
+
+std::string encode_error(const ErrorFrame& error) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(error.code));
+  w.u32(error.retry_after_ms);
+  w.str(error.message);
+  return finish_frame(FrameType::kError, error.request_id, w.take());
+}
+
+std::string encode_metrics_request(std::uint64_t request_id) {
+  return finish_frame(FrameType::kMetricsRequest, request_id, std::string());
+}
+
+std::string encode_metrics_response(std::uint64_t request_id,
+                                    std::string_view json) {
+  ByteWriter w;
+  w.str(json);
+  return finish_frame(FrameType::kMetricsResponse, request_id, w.take());
+}
+
+RequestFrame decode_request(const Frame& frame) {
+  require_type(frame, FrameType::kRequest, "request");
+  return parse_payload("request", [&] {
+    ByteReader r(frame.payload);
+    RequestFrame request;
+    request.request_id = frame.header.request_id;
+    request.message_bytes = r.u64();
+    request.tenant = r.str(kMaxTenantLength);
+    request.topology_text = r.str(kMaxPayload);
+    r.expect_done("request payload");
+    return request;
+  });
+}
+
+ResponseFrame decode_response(const Frame& frame) {
+  require_type(frame, FrameType::kResponse, "response");
+  return parse_payload("response", [&] {
+    ByteReader r(frame.payload);
+    ResponseFrame response;
+    response.request_id = frame.header.request_id;
+    response.cache_hit = r.u8() != 0;
+    response.coalesced = r.u8() != 0;
+    (void)r.u16();  // reserved
+    response.shard = r.u32();
+    response.canonical_hash = r.u64();
+    const std::uint32_t ranks = r.u32();
+    if (ranks > kMaxRanks) {
+      throw ProtocolError("response declares " + std::to_string(ranks) +
+                          " ranks, above the protocol bound");
+    }
+    response.to_canonical.reserve(ranks);
+    for (std::uint32_t i = 0; i < ranks; ++i) {
+      response.to_canonical.push_back(
+          static_cast<topology::Rank>(r.u32()));
+    }
+    response.schedule_json = r.str(kMaxPayload);
+    r.expect_done("response payload");
+    return response;
+  });
+}
+
+ErrorFrame decode_error(const Frame& frame) {
+  require_type(frame, FrameType::kError, "error");
+  return parse_payload("error", [&] {
+    ByteReader r(frame.payload);
+    ErrorFrame error;
+    error.request_id = frame.header.request_id;
+    const std::uint32_t code = r.u32();
+    if (code < 1 || code > 7) {
+      throw ProtocolError("unknown error code " + std::to_string(code));
+    }
+    error.code = static_cast<ErrorCode>(code);
+    error.retry_after_ms = r.u32();
+    error.message = r.str(kMaxPayload);
+    r.expect_done("error payload");
+    return error;
+  });
+}
+
+std::string decode_metrics_response(const Frame& frame) {
+  require_type(frame, FrameType::kMetricsResponse, "metrics response");
+  return parse_payload("metrics response", [&] {
+    ByteReader r(frame.payload);
+    std::string json = r.str(kMaxPayload);
+    r.expect_done("metrics response payload");
+    return json;
+  });
+}
+
+FrameHeader decode_header(std::string_view bytes) {
+  AAPC_CHECK(bytes.size() == kHeaderSize);
+  ByteReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    throw ProtocolError("bad frame magic (got 0x" + [magic] {
+      char buf[9];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }() + ", want 0x43504141); not an aapc_netd peer?");
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version) + " (this build speaks " +
+                        std::to_string(kProtocolVersion) + ")");
+  }
+  const std::uint8_t type = r.u8();
+  if (type < 1 || type > 5) {
+    throw ProtocolError("unknown frame type " + std::to_string(type));
+  }
+  (void)r.u16();  // reserved, ignored for forward compatibility
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.request_id = r.u64();
+  header.payload_length = r.u32();
+  if (header.payload_length > kMaxPayload) {
+    throw ProtocolError("declared payload of " +
+                        std::to_string(header.payload_length) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxPayload) + "-byte frame limit");
+  }
+  return header;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) return;  // stream already unrecoverable
+  // Compact once the consumed prefix dominates, so long-lived
+  // connections do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) {
+    throw ProtocolError("frame stream already failed; connection is "
+                        "unrecoverable");
+  }
+  if (buffered() < kHeaderSize) return std::nullopt;
+  FrameHeader header;
+  try {
+    header = decode_header(
+        std::string_view(buffer_).substr(consumed_, kHeaderSize));
+  } catch (const ProtocolError&) {
+    poisoned_ = true;
+    throw;
+  }
+  if (buffered() < kHeaderSize + header.payload_length) return std::nullopt;
+  Frame frame;
+  frame.header = header;
+  frame.payload =
+      buffer_.substr(consumed_ + kHeaderSize, header.payload_length);
+  consumed_ += kHeaderSize + header.payload_length;
+  return frame;
+}
+
+}  // namespace aapc::netd

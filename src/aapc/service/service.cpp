@@ -239,9 +239,19 @@ std::size_t ScheduleService::latency_reservoir_size() const {
 
 CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
                                          Bytes msize) {
+  return compile(topo, msize, canonicalize(topo));
+}
+
+CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
+                                         Bytes msize,
+                                         const Canonicalization& canon) {
   const Clock::time_point start = Clock::now();
+  AAPC_REQUIRE(static_cast<std::int32_t>(canon.to_canonical.size()) ==
+                   topo.machine_count(),
+               "canonicalization covers " << canon.to_canonical.size()
+                                          << " ranks but the topology has "
+                                          << topo.machine_count());
   requests_.inc();
-  const Canonicalization canon = canonicalize(topo);
   const CacheKey key = cache_key(canon, msize);
   const Bytes class_bytes = size_class_bytes(key.size_class);
 

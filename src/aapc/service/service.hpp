@@ -138,6 +138,14 @@ class ScheduleService {
   /// the pool queue is full; rethrows compilation errors verbatim.
   CompiledRoutine compile(const topology::Topology& topo, Bytes msize);
 
+  /// Same, reusing a canonicalization the caller already computed —
+  /// the netd front-end canonicalizes once to pick the backend shard
+  /// (canonical hash % shards) and passes the result through so the
+  /// shard does not repeat the AHU encoding. `canon` must be
+  /// canonicalize(topo) for this exact `topo`.
+  CompiledRoutine compile(const topology::Topology& topo, Bytes msize,
+                          const Canonicalization& canon);
+
   MetricsSnapshot metrics() const;
   /// Raw registry snapshot behind metrics(), with the cache/pool
   /// mirrors freshly synced — feed this to obs::to_prometheus_text /

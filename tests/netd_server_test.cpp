@@ -1,0 +1,340 @@
+// Loopback end-to-end tests for the aapc_netd server (netd/server.hpp,
+// docs/NETD.md): bit-identity of TCP responses against the in-process
+// ScheduleService, the pressure valves (quota, connection cap,
+// dispatch overload) answering with structured error frames, protocol
+// violations, mid-frame disconnects, graceful drain, and concurrent
+// connections. Sizes stay moderate so the suite is TSan-friendly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/core/schedule_io.hpp"
+#include "aapc/netd/client.hpp"
+#include "aapc/netd/server.hpp"
+#include "aapc/netd/wire.hpp"
+#include "aapc/topology/generators.hpp"
+#include "aapc/topology/io.hpp"
+
+namespace aapc::netd {
+namespace {
+
+using topology::NodeId;
+using topology::Topology;
+
+/// The same physical cluster under a fresh rank/switch labeling.
+Topology shuffled_copy(const Topology& topo, Rng& rng) {
+  const std::int32_t n = topo.node_count();
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  Topology out;
+  std::vector<NodeId> new_id(static_cast<std::size_t>(n));
+  for (const NodeId old : order) {
+    new_id[static_cast<std::size_t>(old)] =
+        topo.is_machine(old) ? out.add_machine() : out.add_switch();
+  }
+  for (topology::LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto [a, b] = topo.link_endpoints(l);
+    out.add_link(new_id[static_cast<std::size_t>(a)],
+                 new_id[static_cast<std::size_t>(b)]);
+  }
+  out.finalize();
+  return out;
+}
+
+/// Starts a server on an ephemeral loopback port.
+std::unique_ptr<Server> start_server(ServerOptions options = {}) {
+  options.port = 0;
+  auto server = std::make_unique<Server>(options);
+  server->start();
+  return server;
+}
+
+TEST(NetdServerTest, LoopbackResponsesBitIdenticalToInProcessService) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  service::ScheduleService reference;
+  Rng rng(17);
+  const Topology bases[] = {topology::make_paper_figure1(),
+                            topology::make_paper_topology_b(),
+                            topology::make_paper_topology_c()};
+  for (const Topology& base : bases) {
+    for (const Bytes msize : {8_KiB, 256_KiB}) {
+      // Once under the generator labeling, once relabeled: the wire
+      // must preserve the relabeling semantics of docs/SERVICE.md.
+      for (const Topology& topo : {base, shuffled_copy(base, rng)}) {
+        const ResponseFrame over_wire = client.compile(topo, msize);
+        const service::CompiledRoutine in_process =
+            reference.compile(topo, msize);
+        EXPECT_EQ(over_wire.schedule_json,
+                  core::schedule_to_json(in_process.schedule,
+                                         topo.machine_count()));
+        EXPECT_EQ(over_wire.to_canonical, in_process.to_canonical);
+        EXPECT_LT(over_wire.shard,
+                  static_cast<std::uint32_t>(server->options().shards));
+      }
+    }
+  }
+}
+
+TEST(NetdServerTest, CacheHitAndCoalesceFlagsTravelTheWire) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  const Topology topo = topology::make_paper_figure1();
+  const ResponseFrame first = client.compile(topo, 8_KiB);
+  EXPECT_FALSE(first.cache_hit);
+  const ResponseFrame second = client.compile(topo, 8_KiB);
+  EXPECT_TRUE(second.cache_hit);
+  // Isomorphic relabelings share the canonical artifact (and shard).
+  Rng rng(23);
+  const ResponseFrame relabeled =
+      client.compile(shuffled_copy(topo, rng), 8_KiB);
+  EXPECT_TRUE(relabeled.cache_hit);
+  EXPECT_EQ(relabeled.canonical_hash, first.canonical_hash);
+  EXPECT_EQ(relabeled.shard, first.shard);
+}
+
+TEST(NetdServerTest, MetricsRequestReturnsMergedRegistry) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  (void)client.compile(topology::make_paper_figure1(), 8_KiB);
+  const std::string json = client.fetch_metrics_json();
+  EXPECT_NE(json.find("aapc_netd_requests_total"), std::string::npos);
+  EXPECT_NE(json.find("aapc_netd_request_seconds"), std::string::npos);
+  // Backend shard series appear with the shard label injected.
+  EXPECT_NE(json.find("aapc_service_requests_total"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\""), std::string::npos);
+}
+
+TEST(NetdServerTest, InvalidTopologyAnswersStructuredErrorAndKeepsConnection) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  try {
+    (void)client.compile_serialized("not a topology at all", 8_KiB);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidRequest);
+  }
+  // The connection survives a request-scoped failure.
+  const ResponseFrame ok =
+      client.compile(topology::make_paper_figure1(), 8_KiB);
+  EXPECT_FALSE(ok.schedule_json.empty());
+}
+
+TEST(NetdServerTest, MalformedFrameAnswersProtocolErrorThenCloses) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  std::string garbage(64, '\x5a');  // wrong magic from byte 0
+  client.send_raw(garbage);
+  const Frame frame = client.read_frame();
+  ASSERT_EQ(frame.header.type, FrameType::kError);
+  EXPECT_EQ(decode_error(frame).code, ErrorCode::kProtocol);
+  // After answering, the server closes: the next read must fail
+  // rather than hang.
+  EXPECT_THROW((void)client.read_frame(), Error);
+}
+
+TEST(NetdServerTest, TenantQuotaAnswersQuotaExceededWithRetryHint) {
+  ServerOptions options;
+  options.admission.tenant_rate = 0.001;  // effectively no refill
+  options.admission.tenant_burst = 2;
+  const auto server = start_server(options);
+  Client client("127.0.0.1", server->port());
+  const Topology topo = topology::make_paper_figure1();
+  (void)client.compile(topo, 8_KiB, "greedy");
+  (void)client.compile(topo, 8_KiB, "greedy");
+  try {
+    (void)client.compile(topo, 8_KiB, "greedy");
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQuotaExceeded);
+    EXPECT_GT(e.retry_after_seconds(), 0.0);
+  }
+  // Quotas are per tenant: another tenant is unaffected.
+  EXPECT_FALSE(client.compile(topo, 8_KiB, "patient").schedule_json.empty());
+}
+
+TEST(NetdServerTest, ConnectionCapRefusesWithStructuredFrame) {
+  ServerOptions options;
+  options.admission.max_connections = 1;
+  const auto server = start_server(options);
+  Client first("127.0.0.1", server->port());
+  (void)first.compile(topology::make_paper_figure1(), 8_KiB);
+  Client second("127.0.0.1", server->port());
+  const Frame frame = second.read_frame();
+  ASSERT_EQ(frame.header.type, FrameType::kError);
+  EXPECT_EQ(decode_error(frame).code, ErrorCode::kConnectionLimit);
+  // The admitted connection keeps working.
+  EXPECT_TRUE(first.compile(topology::make_paper_figure1(), 8_KiB).cache_hit);
+}
+
+TEST(NetdServerTest, DispatchOverloadAnswersOverloadedWithRetryHint) {
+  ServerOptions options;
+  options.event_loops = 1;
+  options.dispatch_threads = 1;
+  options.dispatch_queue_capacity = 1;
+  options.shards = 1;
+  options.service.compiler_threads = 1;
+  options.service.queue_capacity = 1;
+  const auto server = start_server(options);
+
+  constexpr int kClients = 8;
+  std::atomic<int> served{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client client("127.0.0.1", server->port());
+        Rng rng(1000 + static_cast<std::uint64_t>(t));
+        // Distinct random clusters: every request is a cache miss, so
+        // the single compiler saturates and the valves must speak.
+        topology::RandomTreeOptions tree;
+        tree.switches = 3;
+        tree.machines = 16;
+        const Topology topo = topology::make_random_tree(rng, tree);
+        (void)client.compile(topo, 64_KiB);
+        served.fetch_add(1);
+      } catch (const RemoteError& e) {
+        if (e.code() == ErrorCode::kOverloaded) {
+          EXPECT_GT(e.retry_after_seconds(), 0.0);
+          overloaded.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every request got a definite outcome — served or a structured
+  // overload frame; never a dropped connection or unexpected error.
+  EXPECT_EQ(served.load() + overloaded.load(), kClients);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(overloaded.load(), 1);
+}
+
+TEST(NetdServerTest, MidFrameDisconnectIsCountedNotFatal) {
+  const auto server = start_server();
+  {
+    Client rude("127.0.0.1", server->port());
+    const std::string bytes = encode_request([] {
+      RequestFrame request;
+      request.request_id = 1;
+      request.message_bytes = 8_KiB;
+      request.tenant = "rude";
+      request.topology_text =
+          topology::serialize_topology(topology::make_paper_figure1());
+      return request;
+    }());
+    rude.send_raw(bytes.substr(0, bytes.size() / 2));
+    rude.close();  // hang up with half a frame buffered server-side
+  }
+  // The server keeps serving; the disconnect shows up as a counter.
+  Client polite("127.0.0.1", server->port());
+  EXPECT_FALSE(
+      polite.compile(topology::make_paper_figure1(), 8_KiB)
+          .schedule_json.empty());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  double count = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    count = server->metrics_snapshot().value(
+        "aapc_netd_midframe_disconnects_total");
+    if (count >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(count, 1);
+}
+
+TEST(NetdServerTest, StopDrainsInFlightRequestsGracefully) {
+  ServerOptions options;
+  options.drain_deadline_seconds = 20;
+  const auto server = start_server(options);
+  std::atomic<bool> done{false};
+  std::atomic<bool> torn{false};
+  std::thread tenant([&] {
+    try {
+      Client client("127.0.0.1", server->port());
+      Rng rng(77);
+      topology::RandomTreeOptions tree;
+      tree.switches = 4;
+      tree.machines = 20;
+      (void)client.compile(topology::make_random_tree(rng, tree), 256_KiB);
+    } catch (const RemoteError& e) {
+      // A request the drain could not start is failed structurally.
+      if (e.code() != ErrorCode::kShuttingDown) torn.store(true);
+    } catch (const std::exception&) {
+      torn.store(true);  // transport-level tear == abandoned mid-future
+    }
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server->stop();
+  tenant.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_FALSE(torn.load());
+  // Stopped means stopped: new connections are refused.
+  EXPECT_THROW(Client("127.0.0.1", server->port()), Error);
+}
+
+TEST(NetdServerTest, ConcurrentConnectionsAllServedExactly) {
+  ServerOptions options;
+  options.shards = 2;
+  options.dispatch_threads = 4;
+  const auto server = start_server(options);
+  constexpr int kClients = 12;
+  constexpr int kRequestsEach = 6;
+  std::atomic<int> served{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client client("127.0.0.1", server->port());
+        Rng rng(31 * static_cast<std::uint64_t>(t) + 5);
+        const Topology bases[] = {topology::make_paper_figure1(),
+                                  topology::make_paper_topology_b(),
+                                  topology::make_paper_topology_c()};
+        for (int i = 0; i < kRequestsEach; ++i) {
+          const Topology topo =
+              shuffled_copy(bases[rng.next_below(3)], rng);
+          for (;;) {
+            try {
+              const ResponseFrame response = client.compile(topo, 64_KiB);
+              if (response.schedule_json.empty()) failures.fetch_add(1);
+              served.fetch_add(1);
+              break;
+            } catch (const RemoteError& e) {
+              if (e.code() != ErrorCode::kOverloaded) throw;
+              std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            }
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(served.load(), kClients * kRequestsEach);
+  EXPECT_EQ(failures.load(), 0);
+  const obs::RegistrySnapshot snapshot = server->metrics_snapshot();
+  EXPECT_GE(snapshot.total("aapc_netd_requests_total"),
+            static_cast<double>(kClients * kRequestsEach));
+}
+
+}  // namespace
+}  // namespace aapc::netd

@@ -1,0 +1,295 @@
+// Wire-protocol tests for the aapc_netd framing layer (netd/wire.hpp,
+// docs/NETD.md): encode/decode round-trips, and the defensive paths —
+// truncated headers, oversized declared lengths, bad magic, version
+// mismatch, unknown types, trailing payload bytes, byte-by-byte
+// delivery, and randomized garbage. Malformed input must throw
+// ProtocolError (and poison the decoder); it must never crash, hang,
+// or yield a half-parsed frame.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aapc/common/rng.hpp"
+#include "aapc/common/units.hpp"
+#include "aapc/netd/wire.hpp"
+#include "aapc/topology/generators.hpp"
+#include "aapc/topology/io.hpp"
+
+namespace aapc::netd {
+namespace {
+
+void patch_u8(std::string& bytes, std::size_t offset, std::uint8_t value) {
+  bytes[offset] = static_cast<char>(value);
+}
+
+void patch_u32(std::string& bytes, std::size_t offset, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+RequestFrame sample_request() {
+  RequestFrame request;
+  request.request_id = 42;
+  request.message_bytes = 64_KiB;
+  request.tenant = "tenant-7";
+  request.topology_text =
+      topology::serialize_topology(topology::make_paper_figure1());
+  return request;
+}
+
+/// Feeds a byte string and expects exactly one complete frame.
+Frame decode_single(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::optional<Frame> frame = decoder.next();
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return *frame;
+}
+
+TEST(NetdWireTest, RequestRoundTrip) {
+  const RequestFrame request = sample_request();
+  const Frame frame = decode_single(encode_request(request));
+  EXPECT_EQ(frame.header.type, FrameType::kRequest);
+  EXPECT_EQ(frame.header.request_id, 42u);
+  const RequestFrame decoded = decode_request(frame);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.message_bytes, request.message_bytes);
+  EXPECT_EQ(decoded.tenant, request.tenant);
+  EXPECT_EQ(decoded.topology_text, request.topology_text);
+}
+
+TEST(NetdWireTest, ResponseRoundTrip) {
+  ResponseFrame response;
+  response.request_id = 7;
+  response.cache_hit = true;
+  response.coalesced = false;
+  response.shard = 3;
+  response.canonical_hash = 0xdeadbeefcafef00dull;
+  response.to_canonical = {2, 0, 1, 3};
+  response.schedule_json = "{\"phases\":[]}";
+  const ResponseFrame decoded =
+      decode_response(decode_single(encode_response(response)));
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_FALSE(decoded.coalesced);
+  EXPECT_EQ(decoded.shard, 3u);
+  EXPECT_EQ(decoded.canonical_hash, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded.to_canonical, response.to_canonical);
+  EXPECT_EQ(decoded.schedule_json, response.schedule_json);
+}
+
+TEST(NetdWireTest, ErrorRoundTrip) {
+  ErrorFrame error;
+  error.request_id = 9;
+  error.code = ErrorCode::kOverloaded;
+  error.retry_after_ms = 125;
+  error.message = "compiler pool saturated";
+  const ErrorFrame decoded =
+      decode_error(decode_single(encode_error(error)));
+  EXPECT_EQ(decoded.request_id, 9u);
+  EXPECT_EQ(decoded.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded.retry_after_ms, 125u);
+  EXPECT_EQ(decoded.message, error.message);
+}
+
+TEST(NetdWireTest, MetricsRoundTrip) {
+  const Frame request = decode_single(encode_metrics_request(11));
+  EXPECT_EQ(request.header.type, FrameType::kMetricsRequest);
+  EXPECT_EQ(request.header.request_id, 11u);
+  EXPECT_EQ(request.header.payload_length, 0u);
+  const std::string json = "{\"metrics\":[]}";
+  EXPECT_EQ(decode_metrics_response(
+                decode_single(encode_metrics_response(11, json))),
+            json);
+}
+
+TEST(NetdWireTest, WrongFrameTypeForDecoderRejected) {
+  const Frame frame = decode_single(encode_request(sample_request()));
+  EXPECT_THROW((void)decode_response(frame), ProtocolError);
+  EXPECT_THROW((void)decode_error(frame), ProtocolError);
+  EXPECT_THROW((void)decode_metrics_response(frame), ProtocolError);
+}
+
+TEST(NetdWireTest, TruncatedHeaderWaitsForMoreBytes) {
+  const std::string bytes = encode_request(sample_request());
+  FrameDecoder decoder;
+  decoder.feed(bytes.substr(0, kHeaderSize - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), kHeaderSize - 1);
+  // The remainder completes the frame; nothing was lost.
+  decoder.feed(bytes.substr(kHeaderSize - 1));
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(decode_request(*frame).tenant, "tenant-7");
+}
+
+TEST(NetdWireTest, ByteByByteDeliveryYieldsIntactFrames) {
+  const RequestFrame request = sample_request();
+  std::string stream = encode_request(request);
+  stream += encode_metrics_request(43);
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : stream) {
+    decoder.feed(std::string_view(&byte, 1));
+    while (std::optional<Frame> frame = decoder.next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(decode_request(frames[0]).topology_text, request.topology_text);
+  EXPECT_EQ(frames[1].header.type, FrameType::kMetricsRequest);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(NetdWireTest, MidFrameStateIsVisible) {
+  const std::string bytes = encode_request(sample_request());
+  FrameDecoder decoder;
+  decoder.feed(bytes.substr(0, bytes.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+  // A peer hanging up now would be a mid-frame disconnect: the server
+  // detects it exactly through buffered() > 0.
+  EXPECT_GT(decoder.buffered(), 0u);
+}
+
+TEST(NetdWireTest, BadMagicPoisonsTheDecoder) {
+  std::string bytes = encode_request(sample_request());
+  patch_u8(bytes, 0, 0x00);
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_THROW((void)decoder.next(), ProtocolError);
+  // The stream cannot be resynchronized: even valid bytes fed later
+  // must keep failing rather than yield frames from a torn stream.
+  decoder.feed(encode_metrics_request(1));
+  EXPECT_THROW((void)decoder.next(), ProtocolError);
+}
+
+TEST(NetdWireTest, VersionMismatchRejected) {
+  std::string bytes = encode_request(sample_request());
+  patch_u8(bytes, 4, kProtocolVersion + 1);
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  try {
+    (void)decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(NetdWireTest, UnknownFrameTypeRejected) {
+  std::string bytes = encode_request(sample_request());
+  patch_u8(bytes, 5, 9);
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_THROW((void)decoder.next(), ProtocolError);
+}
+
+TEST(NetdWireTest, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  std::string bytes = encode_request(sample_request());
+  patch_u32(bytes, 16, kMaxPayload + 1);
+  FrameDecoder decoder;
+  // Only the header arrives; the decoder must reject from the declared
+  // length alone instead of waiting to buffer 16 MiB + 1.
+  decoder.feed(bytes.substr(0, kHeaderSize));
+  EXPECT_THROW((void)decoder.next(), ProtocolError);
+}
+
+TEST(NetdWireTest, TrailingPayloadBytesRejected) {
+  RequestFrame request = sample_request();
+  std::string bytes = encode_request(request);
+  bytes.push_back('\0');
+  patch_u32(bytes, 16,
+            static_cast<std::uint32_t>(bytes.size() - kHeaderSize));
+  const Frame frame = decode_single(bytes);
+  EXPECT_THROW((void)decode_request(frame), ProtocolError);
+}
+
+TEST(NetdWireTest, OverlongTenantRejected) {
+  RequestFrame request = sample_request();
+  request.tenant.assign(kMaxTenantLength + 1, 'x');
+  const Frame frame = decode_single(encode_request(request));
+  EXPECT_THROW((void)decode_request(frame), ProtocolError);
+}
+
+class NetdWireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetdWireFuzzTest, GarbageBytesNeverCrashTheDecoder) {
+  Rng rng(GetParam() * 2654435761u + 3);
+  for (int round = 0; round < 50; ++round) {
+    FrameDecoder decoder;
+    const std::size_t length = static_cast<std::size_t>(rng.next_in(1, 128));
+    std::string bytes;
+    bytes.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      bytes.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    // Occasionally lead with real magic so the fuzzer reaches the
+    // version/type/length checks, not just the magic check.
+    if (rng.next_below(2) == 0 && bytes.size() >= 4) {
+      patch_u32(bytes, 0, kMagic);
+    }
+    try {
+      std::size_t offset = 0;
+      while (offset < bytes.size()) {
+        const std::size_t chunk = std::min(
+            bytes.size() - offset,
+            static_cast<std::size_t>(rng.next_in(1, 16)));
+        decoder.feed(std::string_view(bytes).substr(offset, chunk));
+        offset += chunk;
+        while (decoder.next().has_value()) {
+        }
+      }
+    } catch (const ProtocolError&) {
+      // Typed rejection is the expected outcome for garbage.
+    }
+  }
+}
+
+TEST_P(NetdWireFuzzTest, RandomPayloadsUnderValidHeadersNeverCrash) {
+  Rng rng(GetParam() * 40503 + 5);
+  for (int round = 0; round < 50; ++round) {
+    Frame frame;
+    frame.header.type =
+        static_cast<FrameType>(1 + rng.next_below(5));
+    frame.header.request_id = rng.next_u64();
+    const std::size_t length = static_cast<std::size_t>(rng.next_in(0, 96));
+    frame.payload.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      frame.payload.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    frame.header.payload_length =
+        static_cast<std::uint32_t>(frame.payload.size());
+    try {
+      switch (frame.header.type) {
+        case FrameType::kRequest:
+          (void)decode_request(frame);
+          break;
+        case FrameType::kResponse:
+          (void)decode_response(frame);
+          break;
+        case FrameType::kError:
+          (void)decode_error(frame);
+          break;
+        case FrameType::kMetricsResponse:
+          (void)decode_metrics_response(frame);
+          break;
+        case FrameType::kMetricsRequest:
+          break;  // no payload decoder
+      }
+    } catch (const ProtocolError&) {
+      // Typed rejection, never a crash.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetdWireFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace aapc::netd
