@@ -9,6 +9,14 @@
 //       ./aapc_netd --port 18211 --shards 4 --dispatch-threads 8
 //       ./aapc_netd --port 18211 --tenant-rate 100 --tenant-burst 32
 //       ./aapc_netd --port 18211 --duration 10 --metrics-out netd.json
+//       ./aapc_netd --port 18211 --fabric-switches 3 --fabric-machines 4
+//
+// --fabric-switches > 0 stands up a star bridged fabric behind the
+// serving path (a hub plus that many leaf switches, --fabric-machines
+// machines each): the server elects its spanning tree, binds the
+// canonical hash into every shard's topology-epoch feed, and accepts
+// kChurnEvent frames (docs/NETD.md §churn) naming trunk bridge links
+// 0..switches-1.
 //
 // The bound port is printed as "listening on <host>:<port>" before
 // serving starts (flushed, so a harness can scrape it when --port 0
@@ -26,6 +34,7 @@
 #include "aapc/common/cli.hpp"
 #include "aapc/netd/server.hpp"
 #include "aapc/obs/exposition.hpp"
+#include "aapc/stp/stp.hpp"
 
 namespace {
 
@@ -53,6 +62,10 @@ int main(int argc, char** argv) {
   cli.add_flag("cache-capacity", "schedule-cache entries per shard", "256");
   cli.add_flag("compiler-threads", "compiler pool workers per shard", "2");
   cli.add_flag("queue-capacity", "compiler pool queue bound per shard", "64");
+  cli.add_flag("fabric-switches",
+               "leaf switches of the churnable star fabric (0 = no fabric, "
+               "churn frames rejected)", "0");
+  cli.add_flag("fabric-machines", "machines per fabric leaf switch", "4");
   cli.add_flag("duration",
                "seconds to serve before exiting (0 = until SIGINT)", "0");
   cli.add_flag("drain-deadline",
@@ -85,6 +98,27 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(cli.get_u64("queue-capacity", 64));
   options.drain_deadline_seconds = cli.get_double("drain-deadline", 10);
   const double duration = cli.get_double("duration", 0);
+
+  const std::int64_t fabric_switches =
+      static_cast<std::int64_t>(cli.get_u64("fabric-switches", 0));
+  const std::int64_t fabric_machines =
+      static_cast<std::int64_t>(cli.get_u64("fabric-machines", 4));
+  if (fabric_switches > 0) {
+    stp::BridgeNetwork fabric;
+    const stp::BridgeId hub = fabric.add_bridge("hub", 0x8000'0000'0001ull);
+    for (std::int64_t s = 0; s < fabric_switches; ++s) {
+      const stp::BridgeId leaf = fabric.add_bridge(
+          "s" + std::to_string(s),
+          0x8000'0000'0002ull + static_cast<std::uint64_t>(s));
+      fabric.add_bridge_link(hub, leaf, 19);  // trunk = bridge link s
+      for (std::int64_t m = 0; m < fabric_machines; ++m) {
+        fabric.add_machine("m" + std::to_string(s) + "_" + std::to_string(m),
+                           leaf);
+      }
+    }
+    options.fabric =
+        std::make_shared<const stp::BridgeNetwork>(std::move(fabric));
+  }
 
   netd::Server server(options);
   try {

@@ -6,35 +6,48 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "aapc/topology/io.hpp"
 
 namespace aapc::netd {
 
-Client::Client(const std::string& host, std::uint16_t port) {
+Client::Client(const std::string& host, std::uint16_t port,
+               const ClientOptions& options)
+    : host_(host), port_(port), options_(options) {
+  dial();
+}
+
+Client::~Client() { close(); }
+
+void Client::dial() {
+  close();
+  // A fresh connection starts a fresh frame stream; bytes of a response
+  // the old server never finished must not prefix the new one.
+  decoder_ = FrameDecoder();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   AAPC_CHECK_MSG(fd_ >= 0, "socket: " << std::strerror(errno));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  AAPC_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-               "invalid address '" << host << "'");
+  addr.sin_port = htons(port_);
+  AAPC_REQUIRE(::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) == 1,
+               "invalid address '" << host_ << "'");
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw Error("connect " + host + ":" + std::to_string(port) + ": " +
+    throw Error("connect " + host_ + ":" + std::to_string(port_) + ": " +
                 std::strerror(err));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
-
-Client::~Client() { close(); }
 
 void Client::close() {
   if (fd_ >= 0) {
@@ -46,6 +59,44 @@ void Client::close() {
 void Client::shutdown_write() {
   AAPC_REQUIRE(fd_ >= 0, "client is not connected");
   ::shutdown(fd_, SHUT_WR);
+}
+
+template <typename Fn>
+auto Client::with_retry(Fn&& op) -> decltype(op()) {
+  double backoff = options_.initial_backoff_seconds;
+  std::int32_t attempts = 0;
+  const auto sleep_and_advance = [&](double seconds) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::max(0.0, seconds)));
+    backoff = std::min(backoff * 2, options_.max_backoff_seconds);
+  };
+  while (true) {
+    try {
+      if (fd_ < 0) dial();  // the previous attempt tore the socket down
+      return op();
+    } catch (const ProtocolError&) {
+      throw;  // malformed stream: resynchronization is impossible
+    } catch (const RemoteError& e) {
+      // The connection is healthy — the server said no. Only the
+      // transient codes are retryable, and only when asked.
+      const bool transient = e.code() == ErrorCode::kOverloaded ||
+                             e.code() == ErrorCode::kShuttingDown;
+      if (!options_.retry_on_overload || !transient ||
+          attempts >= options_.max_reconnects) {
+        throw;
+      }
+      ++attempts;
+      sleep_and_advance(std::max(e.retry_after_seconds(), backoff));
+    } catch (const Error&) {
+      // Transport failure: connection refused, server closed the
+      // connection (possibly mid-frame), ECONNRESET on read/write.
+      if (attempts >= options_.max_reconnects) throw;
+      ++attempts;
+      ++reconnects_;
+      close();
+      sleep_and_advance(backoff);
+    }
+  }
 }
 
 void Client::send_raw(std::string_view bytes) {
@@ -105,22 +156,50 @@ ResponseFrame Client::compile(const topology::Topology& topo,
 ResponseFrame Client::compile_serialized(const std::string& topology_text,
                                          Bytes message_bytes,
                                          const std::string& tenant) {
-  RequestFrame request;
-  request.request_id = next_request_id_++;
-  request.message_bytes = message_bytes;
-  request.tenant = tenant;
-  request.topology_text = topology_text;
-  return roundtrip(encode_request(request), request.request_id);
+  return with_retry([&] {
+    RequestFrame request;
+    request.request_id = next_request_id_++;
+    request.message_bytes = message_bytes;
+    request.tenant = tenant;
+    request.topology_text = topology_text;
+    return roundtrip(encode_request(request), request.request_id);
+  });
 }
 
 std::string Client::fetch_metrics_json() {
-  const std::uint64_t request_id = next_request_id_++;
-  send_raw(encode_metrics_request(request_id));
+  return with_retry([&]() -> std::string {
+    const std::uint64_t request_id = next_request_id_++;
+    send_raw(encode_metrics_request(request_id));
+    const Frame frame = read_frame();
+    if (frame.header.type == FrameType::kError) {
+      throw RemoteError(decode_error(frame));
+    }
+    return decode_metrics_response(frame);
+  });
+}
+
+ChurnAckFrame Client::churn(ChurnKind kind, std::int32_t link,
+                            double factor) {
+  ChurnEventFrame event;
+  event.request_id = next_request_id_++;
+  event.kind = kind;
+  event.link = link;
+  event.factor = kind == ChurnKind::kLinkDegrade ? factor
+                 : kind == ChurnKind::kLinkDown  ? 0.0
+                                                 : 1.0;
+  send_raw(encode_churn_event(event));
   const Frame frame = read_frame();
   if (frame.header.type == FrameType::kError) {
     throw RemoteError(decode_error(frame));
   }
-  return decode_metrics_response(frame);
+  ChurnAckFrame ack = decode_churn_ack(frame);
+  if (ack.request_id != event.request_id) {
+    throw ProtocolError("churn ack for request " +
+                        std::to_string(ack.request_id) +
+                        " while waiting on " +
+                        std::to_string(event.request_id));
+  }
+  return ack;
 }
 
 }  // namespace aapc::netd

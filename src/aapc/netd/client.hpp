@@ -33,19 +33,40 @@ class RemoteError : public Error {
   ErrorFrame frame_;
 };
 
+struct ClientOptions {
+  /// Transparent reconnect attempts per request when the transport
+  /// fails (connection refused, server closed the connection, reset
+  /// mid-frame). 0 disables reconnection — every transport error
+  /// surfaces immediately, the pre-churn behavior.
+  std::int32_t max_reconnects = 5;
+  /// Backoff before the first reconnect attempt; doubles per attempt.
+  double initial_backoff_seconds = 0.05;
+  /// Backoff cap for the exponential schedule.
+  double max_backoff_seconds = 1.0;
+  /// Also retry kOverloaded / kShuttingDown error frames (sleeping the
+  /// server's retry-after hint, floored by the backoff schedule).
+  /// Off by default: load generators usually want to *count* rejects.
+  bool retry_on_overload = false;
+};
+
 class Client {
  public:
   /// Connects immediately; throws aapc::Error on failure.
-  Client(const std::string& host, std::uint16_t port);
+  Client(const std::string& host, std::uint16_t port,
+         const ClientOptions& options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Requests the routine for `topo` at `message_bytes` under `tenant`
-  /// and blocks for the response. Throws RemoteError on an error
-  /// frame, ProtocolError on a malformed response, aapc::Error on
-  /// transport failure (server closed the connection, short write...).
+  /// and blocks for the response. Transport failures (server closed
+  /// the connection, reset mid-frame) trigger transparent
+  /// reconnect-and-resend with capped exponential backoff, up to
+  /// ClientOptions::max_reconnects; past that the aapc::Error
+  /// surfaces. Throws RemoteError on an error frame (unless
+  /// retry_on_overload covers it), ProtocolError on a malformed
+  /// response.
   ResponseFrame compile(const topology::Topology& topo, Bytes message_bytes,
                         const std::string& tenant = "default");
 
@@ -56,7 +77,15 @@ class Client {
                                    const std::string& tenant = "default");
 
   /// Fetches the server's merged obs registry snapshot as JSON.
+  /// Reconnects on transport failure like compile().
   std::string fetch_metrics_json();
+
+  /// Feeds one fabric link event to the server and blocks for the
+  /// accounting ack. Throws RemoteError (kInvalidRequest) when the
+  /// server has no fabric, the link index is bad, or the event would
+  /// disconnect the bridge graph. Not retried: churn is not
+  /// idempotent (a replayed event double-bumps the epoch).
+  ChurnAckFrame churn(ChurnKind kind, std::int32_t link, double factor = 1.0);
 
   /// Raw frame I/O for protocol tests: sends arbitrary bytes, reads
   /// the next frame (or throws when the server closes first).
@@ -69,12 +98,26 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  /// Reconnect attempts taken over the client's lifetime (tests assert
+  /// the transparent-retry path actually exercised).
+  std::int64_t reconnects() const { return reconnects_; }
+
  private:
+  void dial();
+  /// Runs `op` with the reconnect/backoff policy: transport errors
+  /// redial and retry, overload error frames optionally sleep the hint
+  /// and retry, everything else surfaces.
+  template <typename Fn>
+  auto with_retry(Fn&& op) -> decltype(op());
   ResponseFrame roundtrip(const std::string& frame_bytes,
                           std::uint64_t request_id);
 
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  std::int64_t reconnects_ = 0;
   FrameDecoder decoder_;
 };
 

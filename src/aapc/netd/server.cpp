@@ -23,7 +23,10 @@
 
 #include "aapc/common/log.hpp"
 #include "aapc/core/schedule_io.hpp"
+#include "aapc/faults/fault_plan.hpp"
+#include "aapc/faults/repair.hpp"
 #include "aapc/obs/exposition.hpp"
+#include "aapc/service/canonical.hpp"
 #include "aapc/topology/io.hpp"
 
 namespace aapc::netd {
@@ -102,6 +105,10 @@ struct Server::Impl {
                     ErrorCode code, double retry_after_seconds,
                     const std::string& message);
 
+  // fabric churn (event-loop threads, serialized by fabric_mutex)
+  void bind_elected_tree();  // fabric_mutex held
+  ChurnAckFrame apply_churn(const ChurnEventFrame& event);
+
   obs::Counter& reject_counter(ErrorCode code);
   obs::RegistrySnapshot merged_snapshot() const;
   double overload_retry_hint() const;
@@ -119,9 +126,23 @@ struct Server::Impl {
   std::vector<obs::Counter*> shard_requests;
   std::vector<obs::Histogram*> shard_request_seconds;
 
+  obs::Counter& churn_events;
+  obs::Counter& churn_rejects;
+  obs::Counter& reelections;
+
   std::vector<std::unique_ptr<service::ScheduleService>> services;
   std::vector<std::unique_ptr<EventLoop>> loops;
   std::unique_ptr<Dispatcher> dispatcher;
+
+  /// Serving-fabric state: the committed fault timeline (event times are
+  /// a synthetic sequence number — churn frames carry no clock), the
+  /// tree its last election produced, and the canonical hash currently
+  /// bound into the shards' epoch feeds.
+  std::mutex fabric_mutex;
+  faults::FaultPlan fabric_plan;
+  stp::SpanningTree fabric_tree;
+  std::uint64_t fabric_hash = 0;
+  std::int64_t fabric_seq = 0;
 
   std::thread acceptor;
   int listen_fd = -1;
@@ -373,6 +394,25 @@ class EventLoop {
                        /*close_after=*/false);
         return;
       }
+      case FrameType::kChurnEvent: {
+        // Applied inline on the loop thread: churn is an operator feed
+        // (a handful of events per incident), and applying before the
+        // next read guarantees compile requests later on this
+        // connection observe the bumped epoch.
+        const ChurnEventFrame event = decode_churn_event(frame);
+        try {
+          ChurnAckFrame ack = server_->apply_churn(event);
+          ack.request_id = event.request_id;
+          send_from_loop(conn, encode_churn_ack(ack),
+                         /*close_after=*/false);
+        } catch (const InvalidArgument& e) {
+          server_->churn_rejects.inc();
+          server_->reject_counter(ErrorCode::kInvalidRequest).inc();
+          reply_error(conn, event.request_id, ErrorCode::kInvalidRequest, 0,
+                      e.what());
+        }
+        return;
+      }
       default:
         throw ProtocolError(
             "frame type " +
@@ -595,7 +635,16 @@ Server::Impl::Impl(const ServerOptions& opts)
       response_frame_bytes(registry.histogram(
           "aapc_netd_response_frame_bytes",
           "Size of sent response frames (header + payload)",
-          frame_bytes_bounds())) {
+          frame_bytes_bounds())),
+      churn_events(registry.counter("aapc_netd_churn_events_total",
+                                    "Fabric link events applied")),
+      churn_rejects(registry.counter(
+          "aapc_netd_churn_rejects_total",
+          "Fabric link events rejected (no fabric, bad link, or the "
+          "event would disconnect the bridge graph)")),
+      reelections(registry.counter(
+          "aapc_netd_reelections_total",
+          "Churn events that changed the elected spanning tree")) {
   AAPC_REQUIRE(options.shards >= 1, "ServerOptions::shards must be >= 1");
   AAPC_REQUIRE(options.event_loops >= 1,
                "ServerOptions::event_loops must be >= 1");
@@ -612,6 +661,101 @@ Server::Impl::Impl(const ServerOptions& opts)
         "Dispatch-to-response latency, by backend shard",
         obs::default_latency_bounds(), labels));
   }
+  if (options.fabric != nullptr) {
+    const std::lock_guard<std::mutex> lock(fabric_mutex);
+    fabric_tree = stp::compute_spanning_tree(*options.fabric);
+    bind_elected_tree();
+  }
+}
+
+/// Re-canonicalizes the elected tree and (re)binds its hash into every
+/// shard's epoch feed: one LinkBinding per forwarding bridge link,
+/// translated bridge link -> tree LinkId -> canonical LinkId. Machine
+/// access links are not bound (churn frames script bridge links, same
+/// convention as FaultPlan).
+void Server::Impl::bind_elected_tree() {
+  const service::Canonicalization canon =
+      service::canonicalize(fabric_tree.topology);
+  std::vector<service::TopologyEpochs::LinkBinding> bindings;
+  const std::vector<bool>& forwarding = fabric_tree.forwarding;
+  for (std::size_t b = 0; b < forwarding.size(); ++b) {
+    if (!forwarding[b]) continue;
+    const topology::LinkId tree_link =
+        fabric_tree.link_of_bridge_link[b];
+    if (tree_link < 0) continue;
+    bindings.push_back({static_cast<std::int32_t>(b),
+                        canon.link_to_canonical[tree_link]});
+  }
+  for (const std::unique_ptr<service::ScheduleService>& service : services) {
+    if (fabric_hash != 0 && fabric_hash != canon.hash) {
+      service->epochs().unbind(fabric_hash);
+    }
+    service->epochs().bind(canon.hash, bindings,
+                           fabric_tree.topology.link_count());
+  }
+  fabric_hash = canon.hash;
+}
+
+ChurnAckFrame Server::Impl::apply_churn(const ChurnEventFrame& event) {
+  AAPC_REQUIRE(options.fabric != nullptr,
+               "this server has no bridged fabric configured; churn "
+               "events have nothing to act on");
+  const stp::BridgeNetwork& fabric = *options.fabric;
+  AAPC_REQUIRE(event.link >= 0 && event.link < fabric.bridge_link_count(),
+               "churn event names bridge link " << event.link
+                   << " but the fabric has " << fabric.bridge_link_count());
+
+  const std::lock_guard<std::mutex> lock(fabric_mutex);
+  const SimTime when = static_cast<SimTime>(fabric_seq + 1);
+  faults::FaultEvent fault;
+  double factor = 1.0;
+  switch (event.kind) {
+    case ChurnKind::kLinkDegrade:
+      AAPC_REQUIRE(event.factor > 0 && event.factor <= 1.0,
+                   "degrade factor must be in (0, 1], got " << event.factor);
+      fault = faults::FaultEvent::link_degrade(when, event.link, event.factor);
+      factor = event.factor;
+      break;
+    case ChurnKind::kLinkDown:
+      fault = faults::FaultEvent::link_down(when, event.link);
+      factor = 0;
+      break;
+    case ChurnKind::kLinkUp:
+      fault = faults::FaultEvent::link_up(when, event.link);
+      factor = 1.0;
+      break;
+  }
+
+  // Trial first: elect_residual throws InvalidArgument when the event
+  // disconnects the bridge graph. Nothing below runs in that case, so a
+  // bad operator feed cannot wedge the serving state.
+  faults::FaultPlan candidate = fabric_plan;
+  candidate.add(fault);
+  stp::SpanningTree elected =
+      faults::elect_residual(fabric, candidate, when);
+
+  // Commit: record the event, feed every shard's epoch layer, rebind if
+  // the election moved traffic onto different physical links.
+  fabric_plan = std::move(candidate);
+  fabric_seq += 1;
+  churn_events.inc();
+  ChurnAckFrame ack;
+  for (const std::unique_ptr<service::ScheduleService>& service : services) {
+    const service::TopologyEpochs::EventResult result =
+        service->epochs().link_event(event.link, factor);
+    ack.epoch = result.epoch;  // uniform: events reach shards in order
+    ack.invalidated += static_cast<std::uint64_t>(result.invalidated);
+  }
+  const bool tree_changed =
+      elected.forwarding != fabric_tree.forwarding ||
+      elected.link_of_bridge_link != fabric_tree.link_of_bridge_link;
+  if (tree_changed) {
+    fabric_tree = std::move(elected);
+    bind_elected_tree();
+    ack.reelected = true;
+    reelections.inc();
+  }
+  return ack;
 }
 
 Server::Impl::~Impl() = default;
@@ -732,6 +876,8 @@ void Server::Impl::handle_compile(const DispatchItem& item) {
     response.request_id = request.request_id;
     response.cache_hit = routine.cache_hit;
     response.coalesced = routine.coalesced;
+    response.stale = routine.stale;
+    response.epoch = routine.epoch;
     response.shard = shard;
     response.canonical_hash = canon.hash;
     response.to_canonical = routine.to_canonical;

@@ -46,6 +46,7 @@
 #include "aapc/netd/wire.hpp"
 #include "aapc/obs/metrics.hpp"
 #include "aapc/service/service.hpp"
+#include "aapc/stp/stp.hpp"
 
 namespace aapc::netd {
 
@@ -70,6 +71,14 @@ struct ServerOptions {
   /// stop() waits at most this long for dispatched requests to finish
   /// before failing the not-yet-started remainder with kShuttingDown.
   double drain_deadline_seconds = 10;
+  /// Optional bridged fabric behind the serving path. When set, start()
+  /// runs the 802.1D election, canonicalizes the elected machine-leaf
+  /// tree, and binds its canonical hash into every shard's
+  /// TopologyEpochs feed; kChurnEvent frames then drive live link-rate
+  /// churn (trial re-election first, so a disconnecting event is
+  /// rejected without touching serving state). Null disables churn
+  /// handling — kChurnEvent answers kInvalidRequest.
+  std::shared_ptr<const stp::BridgeNetwork> fabric;
 };
 
 class Server {

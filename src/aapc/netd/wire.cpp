@@ -1,5 +1,7 @@
 #include "aapc/netd/wire.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -86,9 +88,11 @@ std::string encode_response(const ResponseFrame& response) {
   ByteWriter w;
   w.u8(response.cache_hit ? 1 : 0);
   w.u8(response.coalesced ? 1 : 0);
-  w.u16(0);  // reserved
+  w.u8(response.stale ? 1 : 0);
+  w.u8(0);  // reserved
   w.u32(response.shard);
   w.u64(response.canonical_hash);
+  w.u64(response.epoch);
   w.u32(static_cast<std::uint32_t>(response.to_canonical.size()));
   for (const topology::Rank rank : response.to_canonical) {
     w.u32(static_cast<std::uint32_t>(rank));
@@ -138,9 +142,11 @@ ResponseFrame decode_response(const Frame& frame) {
     response.request_id = frame.header.request_id;
     response.cache_hit = r.u8() != 0;
     response.coalesced = r.u8() != 0;
-    (void)r.u16();  // reserved
+    response.stale = r.u8() != 0;
+    (void)r.u8();  // reserved
     response.shard = r.u32();
     response.canonical_hash = r.u64();
+    response.epoch = r.u64();
     const std::uint32_t ranks = r.u32();
     if (ranks > kMaxRanks) {
       throw ProtocolError("response declares " + std::to_string(ranks) +
@@ -175,6 +181,63 @@ ErrorFrame decode_error(const Frame& frame) {
   });
 }
 
+std::string encode_churn_event(const ChurnEventFrame& event) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.u8(0);  // reserved
+  w.u16(0);
+  w.u32(static_cast<std::uint32_t>(event.link));
+  // f64 crosses the wire as its IEEE-754 bit pattern in a u64.
+  w.u64(std::bit_cast<std::uint64_t>(event.factor));
+  return finish_frame(FrameType::kChurnEvent, event.request_id, w.take());
+}
+
+std::string encode_churn_ack(const ChurnAckFrame& ack) {
+  ByteWriter w;
+  w.u64(ack.epoch);
+  w.u64(ack.invalidated);
+  w.u8(ack.reelected ? 1 : 0);
+  return finish_frame(FrameType::kChurnAck, ack.request_id, w.take());
+}
+
+ChurnEventFrame decode_churn_event(const Frame& frame) {
+  require_type(frame, FrameType::kChurnEvent, "churn event");
+  return parse_payload("churn event", [&] {
+    ByteReader r(frame.payload);
+    ChurnEventFrame event;
+    event.request_id = frame.header.request_id;
+    const std::uint8_t kind = r.u8();
+    if (kind < 1 || kind > 3) {
+      throw ProtocolError("unknown churn kind " + std::to_string(kind));
+    }
+    event.kind = static_cast<ChurnKind>(kind);
+    (void)r.u8();  // reserved
+    (void)r.u16();
+    event.link = static_cast<std::int32_t>(r.u32());
+    event.factor = std::bit_cast<double>(r.u64());
+    r.expect_done("churn event payload");
+    if (!std::isfinite(event.factor) || event.factor < 0 ||
+        event.factor > 1.0) {
+      throw ProtocolError("churn factor must be a finite value in [0, 1]");
+    }
+    return event;
+  });
+}
+
+ChurnAckFrame decode_churn_ack(const Frame& frame) {
+  require_type(frame, FrameType::kChurnAck, "churn ack");
+  return parse_payload("churn ack", [&] {
+    ByteReader r(frame.payload);
+    ChurnAckFrame ack;
+    ack.request_id = frame.header.request_id;
+    ack.epoch = r.u64();
+    ack.invalidated = r.u64();
+    ack.reelected = r.u8() != 0;
+    r.expect_done("churn ack payload");
+    return ack;
+  });
+}
+
 std::string decode_metrics_response(const Frame& frame) {
   require_type(frame, FrameType::kMetricsResponse, "metrics response");
   return parse_payload("metrics response", [&] {
@@ -203,7 +266,7 @@ FrameHeader decode_header(std::string_view bytes) {
                         std::to_string(kProtocolVersion) + ")");
   }
   const std::uint8_t type = r.u8();
-  if (type < 1 || type > 5) {
+  if (type < 1 || type > 7) {
     throw ProtocolError("unknown frame type " + std::to_string(type));
   }
   (void)r.u16();  // reserved, ignored for forward compatibility

@@ -33,7 +33,11 @@ namespace aapc::netd {
 
 /// "AAPC" as bytes on the wire (read back as a little-endian u32).
 inline constexpr std::uint32_t kMagic = 0x43504141u;
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: responses carry the topology epoch and a staleness flag, and the
+/// churn event/ack frame pair exists. v1 peers are rejected at the
+/// header (the response layout changed shape, so speaking both is not
+/// possible on one connection).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Fixed header size: magic u32, version u8, type u8, reserved u16,
 /// request_id u64, payload_length u32.
 inline constexpr std::size_t kHeaderSize = 20;
@@ -50,6 +54,8 @@ enum class FrameType : std::uint8_t {
   kError = 3,            // structured failure, request-scoped
   kMetricsRequest = 4,   // ask for the server's registry snapshot
   kMetricsResponse = 5,  // obs JSON snapshot payload
+  kChurnEvent = 6,       // physical link rate change (operator feed)
+  kChurnAck = 7,         // epoch/invalidation accounting for the event
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -101,10 +107,17 @@ struct ResponseFrame {
   std::uint64_t request_id = 0;
   bool cache_hit = false;
   bool coalesced = false;
+  /// The artifact predates the last topology event on its links: it is
+  /// the greedy-patched repair served stale-while-revalidate; a
+  /// follow-up request returns the recompiled schedule once the
+  /// background refresh lands (docs/SERVICE.md §churn).
+  bool stale = false;
   /// Backend shard (canonical hash % shard count) that served this.
   std::uint32_t shard = 0;
   /// Canonical-topology hash (the sharding key; see docs/SERVICE.md).
   std::uint64_t canonical_hash = 0;
+  /// Topology epoch at serve time (bumps once per churn event).
+  std::uint64_t epoch = 0;
   /// caller rank -> canonical rank of the shared artifact.
   std::vector<topology::Rank> to_canonical;
   /// docs/FORMATS.md §2 JSON of the schedule in the caller's labeling.
@@ -120,6 +133,37 @@ struct ErrorFrame {
   std::string message;
 };
 
+enum class ChurnKind : std::uint8_t {
+  kLinkDegrade = 1,  // residual factor in (0, 1)
+  kLinkDown = 2,     // factor forced to 0 (triggers re-election)
+  kLinkUp = 3,       // factor forced back to 1
+};
+
+/// Operator-driven link event against the server's bridge fabric:
+/// `link` indexes the fabric's bridge links (stp::BridgeNetwork
+/// ordering), `factor` the residual relative rate. The server trial-runs
+/// the 802.1D re-election first and rejects events that would disconnect
+/// the fabric, so a bad feed cannot wedge the serving state.
+struct ChurnEventFrame {
+  std::uint64_t request_id = 0;
+  ChurnKind kind = ChurnKind::kLinkDegrade;
+  std::int32_t link = -1;
+  double factor = 1.0;
+};
+
+/// Accounting for one applied churn event.
+struct ChurnAckFrame {
+  std::uint64_t request_id = 0;
+  /// Topology epoch after the event (uniform across shards: every event
+  /// is applied to each shard's feed in order).
+  std::uint64_t epoch = 0;
+  /// Cache entries invalidated, summed over shards.
+  std::uint64_t invalidated = 0;
+  /// The event changed the elected spanning tree (the serving topology
+  /// was re-bound to the new canonical hash).
+  bool reelected = false;
+};
+
 // ---- encoding ----
 
 std::string encode_request(const RequestFrame& request);
@@ -128,6 +172,8 @@ std::string encode_error(const ErrorFrame& error);
 std::string encode_metrics_request(std::uint64_t request_id);
 std::string encode_metrics_response(std::uint64_t request_id,
                                     std::string_view json);
+std::string encode_churn_event(const ChurnEventFrame& event);
+std::string encode_churn_ack(const ChurnAckFrame& ack);
 
 // ---- payload decoding (header already validated) ----
 
@@ -136,6 +182,8 @@ ResponseFrame decode_response(const Frame& frame);
 ErrorFrame decode_error(const Frame& frame);
 /// Returns the JSON payload of a kMetricsResponse frame.
 std::string decode_metrics_response(const Frame& frame);
+ChurnEventFrame decode_churn_event(const Frame& frame);
+ChurnAckFrame decode_churn_ack(const Frame& frame);
 
 /// Incremental frame decoder: feed() arbitrary byte chunks as they
 /// arrive from the socket, next() yields complete frames in order.

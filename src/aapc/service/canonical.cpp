@@ -110,9 +110,15 @@ Canonicalization canonicalize(const Topology& topo) {
 
   // Preorder walk in sorted-child order assigns canonical ranks in the
   // exact order machines appear in the form string — the same order
-  // build_canonical_topology() re-creates them in.
+  // build_canonical_topology() re-creates them in. The same walk yields
+  // the link permutation: build_canonical_topology adds one link per
+  // non-root node at creation, so the k-th node created (preorder) owns
+  // canonical LinkId k-1.
   best.to_canonical.assign(static_cast<std::size_t>(topo.machine_count()), -1);
+  best.link_to_canonical.assign(static_cast<std::size_t>(topo.link_count()),
+                                -1);
   Rank next_rank = 0;
+  NodeId next_node = 1;  // preorder index; the root is node 0
   std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, child index)
   stack.emplace_back(best_root, 0);
   if (topo.is_machine(best_root)) {
@@ -132,9 +138,13 @@ Canonicalization canonicalize(const Topology& topo) {
       best.to_canonical[static_cast<std::size_t>(topo.rank_of(child))] =
           next_rank++;
     }
+    best.link_to_canonical[static_cast<std::size_t>(
+        topo.edge_link(topo.edge_between(v, child)))] = next_node - 1;
+    ++next_node;
     stack.emplace_back(child, 0);
   }
   AAPC_CHECK(next_rank == topo.machine_count());
+  AAPC_CHECK(next_node == topo.node_count());
 
   best.hash = canonical_hash(best.canonical_form);
   return best;

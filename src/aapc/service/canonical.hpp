@@ -40,6 +40,15 @@ struct Canonicalization {
   /// canonical topology (the one build_canonical_topology(canonical_form)
   /// reconstructs).
   std::vector<topology::Rank> to_canonical;
+
+  /// link_to_canonical[caller LinkId] = LinkId of the same physical
+  /// link in the canonical topology. Derived from the same preorder
+  /// walk that assigns ranks: build_canonical_topology creates nodes in
+  /// form-string order and links one per non-root node, so the link of
+  /// the k-th created node is canonical LinkId k-1. This is what lets
+  /// the churn layer (service/epochs.hpp) translate a physical link
+  /// event into the canonical link space cached artifacts live in.
+  std::vector<topology::LinkId> link_to_canonical;
 };
 
 /// Computes the canonical form, hash, and rank permutation of `topo`.

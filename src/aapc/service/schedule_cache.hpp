@@ -24,6 +24,7 @@
 
 #include "aapc/common/units.hpp"
 #include "aapc/core/schedule.hpp"
+#include "aapc/core/weighted.hpp"
 #include "aapc/lowering/lower.hpp"
 #include "aapc/mpisim/program.hpp"
 #include "aapc/sync/sync_plan.hpp"
@@ -79,6 +80,19 @@ struct CompiledEntry {
   Bytes class_bytes = 0;
   /// Wall-clock cost of the compilation that produced this entry.
   double compile_seconds = 0;
+  /// Topology epoch (service/epochs.hpp) the entry was compiled
+  /// against. The service treats the entry as fresh iff this is >=
+  /// the hash's invalidation epoch; entries compiled before churn was
+  /// introduced (or for never-bound topologies) carry 0 and stay fresh
+  /// forever unless their links take an event.
+  std::uint64_t epoch = 0;
+  /// True for the greedy-patched artifacts served stale-while-revalidate
+  /// (never stored in this cache — they live in the service's patch
+  /// side-buffer until revalidation replaces them).
+  bool stale = false;
+  /// Residual link rates (canonical link space) the schedule was built
+  /// for; empty when compiled rate-blind at nominal rates.
+  core::LinkRates link_rates;
 };
 
 using CompiledEntryPtr = std::shared_ptr<const CompiledEntry>;

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "aapc/common/log.hpp"
+#include "aapc/core/greedy.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
+#include "aapc/core/weighted.hpp"
 #include "aapc/sync/sync_plan.hpp"
 
 namespace aapc::service {
@@ -102,7 +104,27 @@ ScheduleService::ScheduleService(const ServiceOptions& options)
       compile_ranks_(registry_.gauge(
           "aapc_service_compile_ranks",
           "Machine count of the most recently compiled topology")),
-      pool_(options.compiler_threads, options.queue_capacity) {
+      stale_hits_(registry_.counter(
+          "aapc_service_stale_hits_total",
+          "Cache hits on entries invalidated by a topology event, served "
+          "stale-while-revalidate")),
+      patches_(registry_.counter(
+          "aapc_service_patches_total",
+          "Greedy repair patches computed for stale entries")),
+      revalidations_(registry_.counter(
+          "aapc_service_revalidations_total",
+          "Background recompilations that refreshed an invalidated entry")),
+      revalidation_failures_(registry_.counter(
+          "aapc_service_revalidation_failures_total",
+          "Background recompilations that threw instead of publishing")),
+      patch_seconds_(registry_.histogram(
+          "aapc_service_patch_seconds",
+          "Inline greedy-repair latency on the stale-hit path")),
+      revalidation_seconds_(registry_.histogram(
+          "aapc_service_revalidation_seconds",
+          "Background revalidation latency (weighted recompilation)")),
+      pool_(options.compiler_threads, options.queue_capacity,
+            options.background_queue_capacity) {
   latency_ring_.reserve(kLatencyReservoirCapacity);
 }
 
@@ -112,17 +134,31 @@ CacheKey ScheduleService::cache_key(const Canonicalization& canon,
 }
 
 CompiledEntryPtr ScheduleService::compile_entry(
-    const std::string& canonical_form, Bytes class_bytes) {
+    const std::string& canonical_form, Bytes class_bytes,
+    const TopologyEpochs::View& view) {
   const Clock::time_point start = Clock::now();
   auto entry = std::make_shared<CompiledEntry>();
   entry->canonical_form = canonical_form;
   entry->canonical_topo = build_canonical_topology(canonical_form);
   entry->class_bytes = class_bytes;
+  entry->epoch = view.epoch;
   const topology::Topology& topo = entry->canonical_topo;
   compile_ranks_.set(static_cast<double>(topo.machine_count()));
 
+  // A degraded rate vector switches compilation to the weighted
+  // scheduler (core/weighted.hpp): the phase assignment minimizes the
+  // weighted bottleneck cost instead of the uniform-capacity phase
+  // count. Entries for topologies whose links are all nominal take the
+  // paper's pipeline unchanged.
+  const bool weighted =
+      static_cast<std::int32_t>(view.rates.size()) == topo.link_count() &&
+      !core::uniform_rates(view.rates);
+
   Clock::time_point stage = Clock::now();
-  if (topo.machine_count() >= 3) {
+  if (weighted) {
+    entry->schedule = core::build_aapc_schedule_weighted(topo, view.rates);
+    entry->link_rates = view.rates;
+  } else if (topo.machine_count() >= 3) {
     const core::Decomposition dec = core::decompose(topo);
     stage_decompose_seconds_.observe(seconds_since(stage));
     stage = Clock::now();
@@ -146,8 +182,12 @@ CompiledEntryPtr ScheduleService::compile_entry(
   stage_assign_seconds_.observe(seconds_since(stage));
 
   if (options_.verify_compiled) {
+    // Weighted schedules trade extra phases for a lower weighted cost,
+    // so only the contention-freeness and coverage checks apply.
+    core::VerifyOptions verify_options;
+    verify_options.require_optimal_phase_count = !weighted;
     const core::VerifyReport report =
-        core::verify_schedule(topo, entry->schedule);
+        core::verify_schedule(topo, entry->schedule, verify_options);
     AAPC_CHECK_MSG(report.ok, "compiled schedule failed verification:\n"
                                   << report.summary());
   }
@@ -179,9 +219,95 @@ CompiledEntryPtr ScheduleService::compile_entry(
   return entry;
 }
 
+CompiledEntryPtr ScheduleService::patch_stale_entry(
+    const CacheKey& key, const CompiledEntryPtr& stale_entry,
+    const TopologyEpochs::View& view) {
+  {
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    const auto it = patched_.find(key);
+    if (it != patched_.end() && it->second.first == view.invalidated_at) {
+      return it->second.second;
+    }
+  }
+  // The same rate-blind greedy repair the fault layer splices into
+  // running schedules (faults/repair.hpp): reschedule the full pattern
+  // first-fit, ignoring rates. Cheap and always valid, but it smears
+  // slow-link traffic across phases — the background weighted
+  // recompilation exists to beat it.
+  const Clock::time_point start = Clock::now();
+  const topology::Topology& topo = stale_entry->canonical_topo;
+  auto patched = std::make_shared<CompiledEntry>();
+  patched->canonical_form = stale_entry->canonical_form;
+  patched->canonical_topo = topo;
+  patched->class_bytes = stale_entry->class_bytes;
+  patched->epoch = stale_entry->epoch;  // still pre-event: stays stale
+  patched->stale = true;
+  patched->link_rates = view.rates;
+  patched->schedule = core::greedy_schedule(topo, core::aapc_pattern(topo));
+  if (options_.verify_compiled) {
+    core::require_contention_free(topo, patched->schedule);
+  }
+  sync::SyncPlanOptions plan_options;
+  plan_options.remove_redundant = options_.lowering.reduce_redundant_syncs;
+  patched->sync_plan =
+      sync::build_sync_plan(topo, patched->schedule, plan_options);
+  lowering::LoweringOptions lower_options = options_.lowering;
+  if (lower_options.sync == lowering::SyncMode::kPairwise) {
+    lower_options.precomputed_plan = &patched->sync_plan;
+  }
+  patched->programs =
+      lowering::lower_schedule(topo, patched->schedule, patched->class_bytes,
+                               lower_options, &patched->info);
+  patched->compile_seconds = seconds_since(start);
+  patches_.inc();
+  patch_seconds_.observe(patched->compile_seconds);
+  CompiledEntryPtr result = patched;
+  {
+    // Concurrent stale hits may race here; the patch is deterministic,
+    // so last-writer-wins is benign.
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    patched_[key] = {view.invalidated_at, result};
+  }
+  return result;
+}
+
+void ScheduleService::schedule_revalidation(const CacheKey& key,
+                                            const std::string& canonical_form,
+                                            Bytes class_bytes,
+                                            std::uint64_t hash) {
+  {
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    if (!revalidating_.insert(key).second) return;  // one per key
+  }
+  auto task = [this, key, canonical_form, class_bytes, hash] {
+    const Clock::time_point start = Clock::now();
+    try {
+      // Snapshot the epoch feed at compile start: if another event
+      // lands mid-compile, the published entry's epoch predates it and
+      // the next hit revalidates again.
+      const TopologyEpochs::View view = epochs_.view(hash);
+      CompiledEntryPtr entry = compile_entry(canonical_form, class_bytes, view);
+      cache_.put(key, entry);
+      revalidations_.inc();
+      revalidation_seconds_.observe(seconds_since(start));
+    } catch (...) {
+      revalidation_failures_.inc();
+    }
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    revalidating_.erase(key);
+    patched_.erase(key);
+  };
+  if (!pool_.try_submit_background(std::move(task))) {
+    // Lane full: drop silently (pool counts it); the marker goes away
+    // so the next stale hit retries.
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    revalidating_.erase(key);
+  }
+}
+
 CompiledRoutine ScheduleService::finish(const Canonicalization& canon,
                                         CompiledEntryPtr entry, bool cache_hit,
-                                        bool coalesced,
+                                        bool coalesced, std::uint64_t epoch,
                                         Clock::time_point start) const {
   CompiledRoutine routine;
   const std::vector<topology::Rank> from_canonical =
@@ -189,10 +315,12 @@ CompiledRoutine ScheduleService::finish(const Canonicalization& canon,
   routine.schedule = core::relabel_schedule(entry->schedule, from_canonical);
   routine.programs = mpisim::relabel_program_set(entry->programs,
                                                  from_canonical);
+  routine.stale = entry->stale;
   routine.entry = std::move(entry);
   routine.to_canonical = canon.to_canonical;
   routine.cache_hit = cache_hit;
   routine.coalesced = coalesced;
+  routine.epoch = epoch;
   routine.service_seconds = seconds_since(start);
   return routine;
 }
@@ -254,10 +382,23 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
   requests_.inc();
   const CacheKey key = cache_key(canon, msize);
   const Bytes class_bytes = size_class_bytes(key.size_class);
+  const TopologyEpochs::View view = epochs_.view(canon.hash);
 
   if (CompiledEntryPtr entry = cache_.get(key, canon.canonical_form)) {
-    return finish(canon, std::move(entry), /*cache_hit=*/true,
-                  /*coalesced=*/false, start);
+    if (entry->epoch >= view.invalidated_at) {
+      return finish(canon, std::move(entry), /*cache_hit=*/true,
+                    /*coalesced=*/false, view.epoch, start);
+    }
+    // The entry predates a topology event on its links. Availability
+    // first: answer right now with a greedy-patched repair (stamped
+    // stale), and refresh the cache with a weighted recompilation in
+    // the background. Invalidation is this lazy check — nothing was
+    // evicted, and hashes on untouched links never reach this branch.
+    stale_hits_.inc();
+    CompiledEntryPtr patched = patch_stale_entry(key, entry, view);
+    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash);
+    return finish(canon, std::move(patched), /*cache_hit=*/true,
+                  /*coalesced=*/false, view.epoch, start);
   }
 
   // Miss: coalesce with an in-flight compilation of the same key, or
@@ -291,18 +432,25 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     }
   }
   if (late_hit != nullptr) {
-    return finish(canon, std::move(late_hit), /*cache_hit=*/true,
-                  /*coalesced=*/false, start);
+    if (late_hit->epoch >= view.invalidated_at) {
+      return finish(canon, std::move(late_hit), /*cache_hit=*/true,
+                    /*coalesced=*/false, view.epoch, start);
+    }
+    stale_hits_.inc();
+    CompiledEntryPtr patched = patch_stale_entry(key, late_hit, view);
+    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash);
+    return finish(canon, std::move(patched), /*cache_hit=*/true,
+                  /*coalesced=*/false, view.epoch, start);
   }
 
   if (leader) {
     // The task owns the promise: it publishes to the cache, resolves
     // every coalesced waiter, and removes the in-flight marker (in that
     // order, so a request arriving after removal finds the cache entry).
-    auto task = [this, key, form = canon.canonical_form, class_bytes,
+    auto task = [this, key, form = canon.canonical_form, class_bytes, view,
                  task_promise = promise]() {
       try {
-        CompiledEntryPtr entry = compile_entry(form, class_bytes);
+        CompiledEntryPtr entry = compile_entry(form, class_bytes, view);
         cache_.put(key, entry);
         task_promise->set_value(std::move(entry));
       } catch (...) {
@@ -341,9 +489,10 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     hash_collisions_.inc();
     AAPC_WARN("canonical hash collision (hash "
               << canon.hash << "); compiling inline without caching");
-    entry = compile_entry(canon.canonical_form, class_bytes);
+    entry = compile_entry(canon.canonical_form, class_bytes, view);
   }
-  return finish(canon, std::move(entry), /*cache_hit=*/false, !leader, start);
+  return finish(canon, std::move(entry), /*cache_hit=*/false, !leader,
+                view.epoch, start);
 }
 
 void ScheduleService::sync_mirrors() const {
@@ -373,6 +522,32 @@ void ScheduleService::sync_mirrors() const {
       .gauge("aapc_service_peak_queue_depth",
              "High-water mark of the compiler pool queue")
       .set_max(static_cast<double>(pool.peak_queue_depth));
+  registry_
+      .gauge("aapc_service_background_queue_depth",
+             "Revalidations queued on the background lane")
+      .set(static_cast<double>(pool.background_queue_depth));
+  registry_
+      .counter("aapc_service_revalidations_dropped_total",
+               "Revalidations dropped because the background lane was full")
+      .set_total(pool.background_rejected);
+  const TopologyEpochs::Stats epochs = epochs_.stats();
+  registry_
+      .gauge("aapc_service_epoch",
+             "Current topology epoch (bumps once per link event)")
+      .set(static_cast<double>(epochs.epoch));
+  registry_
+      .counter("aapc_service_link_events_total",
+               "Physical link rate events applied to the epoch feed")
+      .set_total(epochs.link_events);
+  registry_
+      .counter("aapc_service_invalidations_total",
+               "Cache invalidations stamped by link events (one per bound "
+               "topology per event on its links)")
+      .set_total(epochs.invalidations);
+  registry_
+      .gauge("aapc_service_bound_topologies",
+             "Canonical topologies bound to physical links")
+      .set(static_cast<double>(epochs.bound_topologies));
 }
 
 obs::RegistrySnapshot ScheduleService::metrics_snapshot() const {
@@ -400,6 +575,16 @@ MetricsSnapshot ScheduleService::metrics() const {
       static_cast<std::int64_t>(snap.value("aapc_service_queue_depth"));
   snapshot.peak_queue_depth =
       static_cast<std::int64_t>(snap.value("aapc_service_peak_queue_depth"));
+  snapshot.stale_hits = count("aapc_service_stale_hits_total");
+  snapshot.patches = count("aapc_service_patches_total");
+  snapshot.revalidations = count("aapc_service_revalidations_total");
+  snapshot.revalidation_failures =
+      count("aapc_service_revalidation_failures_total");
+  snapshot.revalidations_dropped =
+      count("aapc_service_revalidations_dropped_total");
+  snapshot.epoch = static_cast<std::int64_t>(snap.value("aapc_service_epoch"));
+  snapshot.link_events = count("aapc_service_link_events_total");
+  snapshot.invalidations = count("aapc_service_invalidations_total");
   if (const obs::SeriesSnapshot* compile =
           snap.find("aapc_service_compile_seconds")) {
     snapshot.compilations = compile->histogram.count;
@@ -432,6 +617,14 @@ TextTable MetricsSnapshot::table() const {
   add("cache evictions", std::to_string(cache_evictions));
   add("queue depth", std::to_string(queue_depth));
   add("peak queue depth", std::to_string(peak_queue_depth));
+  add("topology epoch", std::to_string(epoch));
+  add("link events", std::to_string(link_events));
+  add("invalidations", std::to_string(invalidations));
+  add("stale hits", std::to_string(stale_hits));
+  add("patches", std::to_string(patches));
+  add("revalidations", std::to_string(revalidations));
+  add("revalidation failures", std::to_string(revalidation_failures));
+  add("revalidations dropped", std::to_string(revalidations_dropped));
   add("compile p50", format_seconds(compile_p50_seconds));
   add("compile p95", format_seconds(compile_p95_seconds));
   add("compile max", format_seconds(compile_max_seconds));

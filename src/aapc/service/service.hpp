@@ -30,6 +30,7 @@
 #include <future>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "aapc/common/error.hpp"
@@ -39,6 +40,7 @@
 #include "aapc/obs/metrics.hpp"
 #include "aapc/service/canonical.hpp"
 #include "aapc/service/compiler_pool.hpp"
+#include "aapc/service/epochs.hpp"
 #include "aapc/service/schedule_cache.hpp"
 
 namespace aapc::service {
@@ -63,6 +65,11 @@ struct ServiceOptions {
   std::int32_t compiler_threads = 4;
   /// Queued (not yet executing) compilations before submit rejects.
   std::int32_t queue_capacity = 64;
+  /// Queued background revalidations (stale-while-revalidate refresh
+  /// after topology churn). A full lane drops the revalidation — the
+  /// next stale hit re-schedules it — and never consumes foreground
+  /// queue capacity.
+  std::int32_t background_queue_capacity = 16;
   /// Lowering configuration applied to every compilation (part of the
   /// cache key, so services with different options never share entries).
   lowering::LoweringOptions lowering;
@@ -91,6 +98,12 @@ struct CompiledRoutine {
   bool cache_hit = false;
   /// Waited on a compilation started by a concurrent request.
   bool coalesced = false;
+  /// The artifact predates the last topology event on its links: it is
+  /// a greedy-patched repair served immediately while a weighted
+  /// recompilation refreshes the cache in the background.
+  bool stale = false;
+  /// Global topology epoch at serve time (see service/epochs.hpp).
+  std::uint64_t epoch = 0;
   /// End-to-end wall-clock latency of this request.
   double service_seconds = 0;
 };
@@ -111,6 +124,14 @@ struct MetricsSnapshot {
   std::int64_t cache_evictions = 0;
   std::int64_t queue_depth = 0;      // current
   std::int64_t peak_queue_depth = 0;
+  std::int64_t stale_hits = 0;
+  std::int64_t patches = 0;
+  std::int64_t revalidations = 0;
+  std::int64_t revalidation_failures = 0;
+  std::int64_t revalidations_dropped = 0;
+  std::int64_t epoch = 0;            // current
+  std::int64_t link_events = 0;
+  std::int64_t invalidations = 0;
   double compile_p50_seconds = 0;
   double compile_p95_seconds = 0;
   double compile_max_seconds = 0;
@@ -170,11 +191,30 @@ class ScheduleService {
   /// The cache key `compile` uses for a request (exposed for tests).
   CacheKey cache_key(const Canonicalization& canon, Bytes msize) const;
 
+  /// The topology-epoch feed driving cache invalidation. The front-end
+  /// binds canonical hashes to physical links here and forwards link
+  /// events; the service consults it on every request.
+  TopologyEpochs& epochs() { return epochs_; }
+  const TopologyEpochs& epochs() const { return epochs_; }
+
  private:
   CompiledEntryPtr compile_entry(const std::string& canonical_form,
-                                 Bytes class_bytes);
+                                 Bytes class_bytes,
+                                 const TopologyEpochs::View& view);
+  /// Greedy-patched (rate-blind) repair of a stale entry, answered
+  /// inline on a stale hit. Memoized per (key, invalidation epoch) in
+  /// patched_ so concurrent stale hits do not recompute it.
+  CompiledEntryPtr patch_stale_entry(const CacheKey& key,
+                                     const CompiledEntryPtr& stale_entry,
+                                     const TopologyEpochs::View& view);
+  /// Enqueues one background weighted recompilation for `key` (no-op
+  /// when one is already pending — in-flight coalescing for the
+  /// revalidation path).
+  void schedule_revalidation(const CacheKey& key,
+                             const std::string& canonical_form,
+                             Bytes class_bytes, std::uint64_t hash);
   CompiledRoutine finish(const Canonicalization& canon, CompiledEntryPtr entry,
-                         bool cache_hit, bool coalesced,
+                         bool cache_hit, bool coalesced, std::uint64_t epoch,
                          std::chrono::steady_clock::time_point start) const;
   double retry_after_hint() const;
   void record_compile_latency(double seconds);
@@ -190,6 +230,20 @@ class ScheduleService {
   std::unordered_map<CacheKey, std::shared_future<CompiledEntryPtr>,
                      CacheKeyHash>
       in_flight_;
+  /// Keys with a pending background revalidation (guarded by
+  /// in_flight_mutex_): at most one revalidation per key at a time.
+  std::unordered_set<CacheKey, CacheKeyHash> revalidating_;
+  /// Patched stale artifacts by key -> (invalidation epoch, entry),
+  /// guarded by in_flight_mutex_. Erased when the revalidated entry
+  /// lands in the cache, so the buffer is bounded by the number of
+  /// simultaneously-stale keys.
+  std::unordered_map<CacheKey, std::pair<std::uint64_t, CompiledEntryPtr>,
+                     CacheKeyHash>
+      patched_;
+
+  /// Link-churn feed. Background revalidation tasks read it, so it is
+  /// declared before pool_ (destroyed after the pool joins).
+  TopologyEpochs epochs_;
 
   /// Source of truth for every aapc_service_* series. mutable: reads
   /// (metrics_snapshot) sync mirror series, which registers them on
@@ -210,6 +264,13 @@ class ScheduleService {
   obs::Histogram& stage_sync_seconds_;
   obs::Histogram& stage_lower_seconds_;
   obs::Gauge& compile_ranks_;
+  /// Churn / stale-while-revalidate instrumentation.
+  obs::Counter& stale_hits_;
+  obs::Counter& patches_;
+  obs::Counter& revalidations_;
+  obs::Counter& revalidation_failures_;
+  obs::Histogram& patch_seconds_;
+  obs::Histogram& revalidation_seconds_;
 
   /// Bounded ring of recent compile latencies (retry_after_hint's
   /// median). latency_ring_ holds at most kLatencyReservoirCapacity

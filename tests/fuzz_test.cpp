@@ -199,6 +199,71 @@ TEST(FaultPlanNumbersTest, OverflowAndLocaleShapedInputsReject) {
   }
 }
 
+TEST(FaultPlanChurnSpellingsTest, ChurnSpellingsParseExactlyOrReject) {
+  // The serving path's epoch feed (service/epochs.hpp) consumes the
+  // three link-event kinds; a churn timeline written as FaultPlan JSON
+  // must parse those exact spellings and nothing that merely looks
+  // like them.
+  auto plan_with = [](const std::string& event) {
+    return "{\"events\":[" + event + "]}";
+  };
+  for (const char* good :
+       {"{\"kind\":\"link_degrade\",\"time_ms\":1,\"link\":0,"
+        "\"factor\":0.5}",
+        "{\"kind\":\"link_down\",\"time_ms\":2,\"link\":0}",
+        "{\"kind\":\"link_up\",\"time_ms\":3,\"link\":0}"}) {
+    const faults::FaultPlan plan = faults::fault_plan_from_json(
+        plan_with(good));
+    EXPECT_NO_THROW(plan.validate()) << good;
+  }
+
+  // Near-miss kind spellings reject with typed errors — no aliasing
+  // onto a known kind.
+  for (const char* kind :
+       {"churn", "link_churn", "epoch_bump", "reelect", "degrade",
+        "link_restore", "LINK_DEGRADE", "link-degrade", "linkdegrade",
+        "link_degrade ", " link_up", "link_up\\n"}) {
+    EXPECT_THROW(
+        faults::fault_plan_from_json(plan_with(
+            "{\"kind\":\"" + std::string(kind) +
+            "\",\"time_ms\":1,\"link\":0,\"factor\":0.5}")),
+        Error)
+        << kind;
+  }
+
+  // Epoch bookkeeping lives in the serving path, not the plan: events
+  // smuggling churn-frame fields are rejected as unknown keys, so
+  // format drift between the wire and the plan fails loudly.
+  for (const char* field :
+       {"\"epoch\":1", "\"invalidated\":2", "\"stale\":true",
+        "\"reelected\":false", "\"rate\":0.5"}) {
+    EXPECT_THROW(
+        faults::fault_plan_from_json(plan_with(
+            "{\"kind\":\"link_degrade\",\"time_ms\":1,\"link\":0,"
+            "\"factor\":0.5," +
+            std::string(field) + "}")),
+        Error)
+        << field;
+  }
+
+  // Degrade factors outside (0, 1] are rejected — the same range the
+  // netd kChurnEvent decoder enforces before a frame ever reaches the
+  // epoch feed.
+  for (const char* factor : {"0", "-0.5", "1.5", "2"}) {
+    EXPECT_THROW(
+        {
+          const faults::FaultPlan plan =
+              faults::fault_plan_from_json(plan_with(
+                  "{\"kind\":\"link_degrade\",\"time_ms\":1,\"link\":0,"
+                  "\"factor\":" +
+                  std::string(factor) + "}"));
+          plan.validate();
+        },
+        InvalidArgument)
+        << factor;
+  }
+}
+
 TEST_P(ParserFuzzTest, TruncatedInputsRejectCleanly) {
   // Every byte-length prefix of valid inputs: the classic
   // cut-off-mid-token parser crash. All three text formats.

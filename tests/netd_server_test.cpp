@@ -20,6 +20,7 @@
 #include "aapc/netd/client.hpp"
 #include "aapc/netd/server.hpp"
 #include "aapc/netd/wire.hpp"
+#include "aapc/stp/stp.hpp"
 #include "aapc/topology/generators.hpp"
 #include "aapc/topology/io.hpp"
 
@@ -334,6 +335,187 @@ TEST(NetdServerTest, ConcurrentConnectionsAllServedExactly) {
   const obs::RegistrySnapshot snapshot = server->metrics_snapshot();
   EXPECT_GE(snapshot.total("aapc_netd_requests_total"),
             static_cast<double>(kClients * kRequestsEach));
+}
+
+// ---------------------------------------------------------------------------
+// Fabric churn (docs/NETD.md §churn): live link events over the wire.
+
+/// Two switches, three machines each. Bridge link 0 is the elected
+/// trunk; link 1 is a redundant higher-cost trunk that 802.1D blocks
+/// until the primary fails.
+std::shared_ptr<stp::BridgeNetwork> make_fabric(bool redundant_trunk = true) {
+  auto fabric = std::make_shared<stp::BridgeNetwork>();
+  const stp::BridgeId s0 = fabric->add_bridge("s0", 1);
+  const stp::BridgeId s1 = fabric->add_bridge("s1", 2);
+  fabric->add_bridge_link(s0, s1, 19);
+  if (redundant_trunk) fabric->add_bridge_link(s0, s1, 38);
+  for (int m = 0; m < 3; ++m) {
+    fabric->add_machine("a" + std::to_string(m), s0);
+    fabric->add_machine("b" + std::to_string(m), s1);
+  }
+  return fabric;
+}
+
+/// Polls `client` until the served artifact is fresh again (bounded).
+ResponseFrame compile_until_fresh(Client& client, const Topology& topo,
+                                  Bytes msize) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const ResponseFrame response = client.compile(topo, msize);
+    if (!response.stale || std::chrono::steady_clock::now() > deadline) {
+      return response;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(NetdChurnTest, DegradeServesStaleThenRevalidatesOverTheWire) {
+  ServerOptions options;
+  options.shards = 1;  // exact invalidation accounting below
+  options.fabric = make_fabric();
+  const auto server = start_server(options);
+  const Topology elected =
+      stp::compute_spanning_tree(*options.fabric).topology;
+  Client client("127.0.0.1", server->port());
+
+  const ResponseFrame healthy = client.compile(elected, 8_KiB);
+  EXPECT_FALSE(healthy.stale);
+  EXPECT_EQ(healthy.epoch, 0u);
+
+  const ChurnAckFrame ack = client.churn(ChurnKind::kLinkDegrade, 0, 0.5);
+  EXPECT_EQ(ack.epoch, 1u);
+  EXPECT_EQ(ack.invalidated, 1u);
+  EXPECT_FALSE(ack.reelected);  // a degraded trunk still forwards
+
+  // The invalidated entry answers immediately — patched, flagged stale,
+  // stamped with the new epoch — while the weighted recompilation runs.
+  const ResponseFrame stale = client.compile(elected, 8_KiB);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_TRUE(stale.cache_hit);
+  EXPECT_EQ(stale.epoch, 1u);
+  EXPECT_EQ(stale.canonical_hash, healthy.canonical_hash);
+
+  const ResponseFrame fresh = compile_until_fresh(client, elected, 8_KiB);
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(fresh.epoch, 1u);
+
+  const obs::RegistrySnapshot snapshot = server->metrics_snapshot();
+  EXPECT_GE(snapshot.total("aapc_netd_churn_events_total"), 1.0);
+  EXPECT_GE(snapshot.total("aapc_service_stale_hits_total"), 1.0);
+  EXPECT_GE(snapshot.total("aapc_service_revalidations_total"), 1.0);
+  EXPECT_EQ(snapshot.total("aapc_service_revalidation_failures_total"), 0.0);
+}
+
+TEST(NetdChurnTest, TrunkFailureReelectsOntoTheBackupLink) {
+  ServerOptions options;
+  options.shards = 1;
+  options.fabric = make_fabric();
+  const auto server = start_server(options);
+  const Topology elected =
+      stp::compute_spanning_tree(*options.fabric).topology;
+  Client client("127.0.0.1", server->port());
+  (void)client.compile(elected, 8_KiB);
+
+  const ChurnAckFrame ack = client.churn(ChurnKind::kLinkDown, 0);
+  EXPECT_EQ(ack.epoch, 1u);
+  EXPECT_EQ(ack.invalidated, 1u);  // the dead trunk was forwarding
+  EXPECT_TRUE(ack.reelected);      // traffic moved to bridge link 1
+
+  // The backup tree is isomorphic (same shape), so the canonical hash —
+  // and the cached artifact — survive the re-election; the entry is
+  // stale (its link vanished) and refreshes in the background. The
+  // rebind re-seeds rates from the *backup* trunk, which is healthy, so
+  // the refreshed schedule is the nominal rate-blind one.
+  const ResponseFrame after = client.compile(elected, 8_KiB);
+  EXPECT_EQ(after.epoch, 1u);
+  const ResponseFrame fresh = compile_until_fresh(client, elected, 8_KiB);
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_GE(server->metrics_snapshot().total("aapc_netd_reelections_total"),
+            1.0);
+
+  // Restoring the primary trunk re-elects back and invalidates again.
+  const ChurnAckFrame restore = client.churn(ChurnKind::kLinkUp, 0);
+  EXPECT_EQ(restore.epoch, 2u);
+  EXPECT_TRUE(restore.reelected);
+}
+
+TEST(NetdChurnTest, DisconnectingOrMalformedEventsRejectedWithoutStateChange) {
+  ServerOptions options;
+  options.shards = 1;
+  options.fabric = make_fabric(/*redundant_trunk=*/false);
+  const auto server = start_server(options);
+  const Topology elected =
+      stp::compute_spanning_tree(*options.fabric).topology;
+  Client client("127.0.0.1", server->port());
+  (void)client.compile(elected, 8_KiB);
+
+  // Downing the only trunk would disconnect the fabric: the trial
+  // election rejects it and nothing is applied.
+  try {
+    (void)client.churn(ChurnKind::kLinkDown, 0);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidRequest);
+  }
+  // Out-of-range link index: same structured rejection.
+  EXPECT_THROW((void)client.churn(ChurnKind::kLinkDegrade, 99, 0.5),
+               RemoteError);
+  // No state change: the cached artifact is still fresh at epoch 0.
+  const ResponseFrame response = client.compile(elected, 8_KiB);
+  EXPECT_FALSE(response.stale);
+  EXPECT_EQ(response.epoch, 0u);
+  EXPECT_GE(server->metrics_snapshot().total("aapc_netd_churn_rejects_total"),
+            2.0);
+}
+
+TEST(NetdChurnTest, ChurnEventsRejectedWhenNoFabricConfigured) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  try {
+    (void)client.churn(ChurnKind::kLinkDegrade, 0, 0.5);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidRequest);
+  }
+  // The connection survives the rejection.
+  EXPECT_FALSE(client.compile(topology::make_paper_figure1(), 8_KiB)
+                   .schedule_json.empty());
+}
+
+TEST(NetdClientTest, ReconnectsTransparentlyAcrossAServerRestart) {
+  ServerOptions options;
+  auto server = start_server(options);
+  const std::uint16_t port = server->port();
+  ClientOptions client_options;
+  client_options.initial_backoff_seconds = 0.02;
+  Client client("127.0.0.1", port, client_options);
+  const Topology topo = topology::make_paper_figure1();
+  (void)client.compile(topo, 8_KiB);
+
+  // Restart the server on the same port: the client's socket dies, and
+  // the next compile must redial and resend instead of surfacing the
+  // transport error.
+  server->stop();
+  server.reset();
+  options.port = port;
+  auto reborn = std::make_unique<Server>(options);
+  reborn->start();
+
+  const ResponseFrame response = client.compile(topo, 8_KiB);
+  EXPECT_FALSE(response.schedule_json.empty());
+  EXPECT_GE(client.reconnects(), 1);
+}
+
+TEST(NetdClientTest, ZeroReconnectsPreservesFailFastBehavior) {
+  ClientOptions options;
+  options.max_reconnects = 0;
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port(), options);
+  (void)client.compile(topology::make_paper_figure1(), 8_KiB);
+  server->stop();
+  EXPECT_THROW((void)client.compile(topology::make_paper_figure1(), 8_KiB),
+               Error);
 }
 
 }  // namespace

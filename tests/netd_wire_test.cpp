@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -69,8 +70,10 @@ TEST(NetdWireTest, ResponseRoundTrip) {
   response.request_id = 7;
   response.cache_hit = true;
   response.coalesced = false;
+  response.stale = true;
   response.shard = 3;
   response.canonical_hash = 0xdeadbeefcafef00dull;
+  response.epoch = 41;
   response.to_canonical = {2, 0, 1, 3};
   response.schedule_json = "{\"phases\":[]}";
   const ResponseFrame decoded =
@@ -78,10 +81,66 @@ TEST(NetdWireTest, ResponseRoundTrip) {
   EXPECT_EQ(decoded.request_id, 7u);
   EXPECT_TRUE(decoded.cache_hit);
   EXPECT_FALSE(decoded.coalesced);
+  EXPECT_TRUE(decoded.stale);
   EXPECT_EQ(decoded.shard, 3u);
   EXPECT_EQ(decoded.canonical_hash, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded.epoch, 41u);
   EXPECT_EQ(decoded.to_canonical, response.to_canonical);
   EXPECT_EQ(decoded.schedule_json, response.schedule_json);
+}
+
+TEST(NetdWireTest, ChurnEventRoundTrip) {
+  ChurnEventFrame event;
+  event.request_id = 13;
+  event.kind = ChurnKind::kLinkDegrade;
+  event.link = 4;
+  event.factor = 0.375;  // exact in binary: survives the bit-cast
+  const Frame frame = decode_single(encode_churn_event(event));
+  EXPECT_EQ(frame.header.type, FrameType::kChurnEvent);
+  const ChurnEventFrame decoded = decode_churn_event(frame);
+  EXPECT_EQ(decoded.request_id, 13u);
+  EXPECT_EQ(decoded.kind, ChurnKind::kLinkDegrade);
+  EXPECT_EQ(decoded.link, 4);
+  EXPECT_EQ(decoded.factor, 0.375);
+}
+
+TEST(NetdWireTest, ChurnAckRoundTrip) {
+  ChurnAckFrame ack;
+  ack.request_id = 14;
+  ack.epoch = 9;
+  ack.invalidated = 3;
+  ack.reelected = true;
+  const ChurnAckFrame decoded =
+      decode_churn_ack(decode_single(encode_churn_ack(ack)));
+  EXPECT_EQ(decoded.request_id, 14u);
+  EXPECT_EQ(decoded.epoch, 9u);
+  EXPECT_EQ(decoded.invalidated, 3u);
+  EXPECT_TRUE(decoded.reelected);
+}
+
+TEST(NetdWireTest, ChurnEventValidatesKindAndFactor) {
+  ChurnEventFrame event;
+  event.request_id = 1;
+  event.kind = ChurnKind::kLinkDegrade;
+  event.link = 0;
+  event.factor = 0.5;
+  // Unknown kind byte.
+  {
+    std::string bytes = encode_churn_event(event);
+    patch_u8(bytes, kHeaderSize, 7);
+    EXPECT_THROW((void)decode_churn_event(decode_single(bytes)),
+                 ProtocolError);
+  }
+  // Factor outside [0, 1] and non-finite bit patterns.
+  for (const double bad :
+       {-0.25, 1.5, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    ChurnEventFrame invalid = event;
+    invalid.factor = bad;
+    EXPECT_THROW(
+        (void)decode_churn_event(decode_single(encode_churn_event(invalid))),
+        ProtocolError);
+  }
 }
 
 TEST(NetdWireTest, ErrorRoundTrip) {
@@ -170,15 +229,21 @@ TEST(NetdWireTest, BadMagicPoisonsTheDecoder) {
 }
 
 TEST(NetdWireTest, VersionMismatchRejected) {
-  std::string bytes = encode_request(sample_request());
-  patch_u8(bytes, 4, kProtocolVersion + 1);
-  FrameDecoder decoder;
-  decoder.feed(bytes);
-  try {
-    (void)decoder.next();
-    FAIL() << "expected ProtocolError";
-  } catch (const ProtocolError& e) {
-    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  // Both a future version and the retired v1 (the response frame
+  // changed shape in v2, so a v1 peer cannot be spoken to).
+  for (const std::uint8_t version :
+       {static_cast<std::uint8_t>(kProtocolVersion + 1),
+        static_cast<std::uint8_t>(1)}) {
+    std::string bytes = encode_request(sample_request());
+    patch_u8(bytes, 4, version);
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    try {
+      (void)decoder.next();
+      FAIL() << "expected ProtocolError for version " << int(version);
+    } catch (const ProtocolError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
   }
 }
 
@@ -256,7 +321,7 @@ TEST_P(NetdWireFuzzTest, RandomPayloadsUnderValidHeadersNeverCrash) {
   for (int round = 0; round < 50; ++round) {
     Frame frame;
     frame.header.type =
-        static_cast<FrameType>(1 + rng.next_below(5));
+        static_cast<FrameType>(1 + rng.next_below(7));
     frame.header.request_id = rng.next_u64();
     const std::size_t length = static_cast<std::size_t>(rng.next_in(0, 96));
     frame.payload.reserve(length);
@@ -278,6 +343,12 @@ TEST_P(NetdWireFuzzTest, RandomPayloadsUnderValidHeadersNeverCrash) {
           break;
         case FrameType::kMetricsResponse:
           (void)decode_metrics_response(frame);
+          break;
+        case FrameType::kChurnEvent:
+          (void)decode_churn_event(frame);
+          break;
+        case FrameType::kChurnAck:
+          (void)decode_churn_ack(frame);
           break;
         case FrameType::kMetricsRequest:
           break;  // no payload decoder
