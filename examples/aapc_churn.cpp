@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,12 +41,21 @@
 
 #include "aapc/common/cli.hpp"
 #include "aapc/common/rng.hpp"
+#include "aapc/common/strings.hpp"
 #include "aapc/core/schedule_io.hpp"
+#include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
+#include "aapc/faults/fault_plan.hpp"
+#include "aapc/flight/analyze.hpp"
+#include "aapc/flight/dump.hpp"
+#include "aapc/flight/recorder.hpp"
+#include "aapc/lowering/lower.hpp"
+#include "aapc/mpisim/executor.hpp"
 #include "aapc/netd/client.hpp"
 #include "aapc/netd/server.hpp"
 #include "aapc/obs/exposition.hpp"
 #include "aapc/stp/stp.hpp"
+#include "aapc/sync/sync_plan.hpp"
 #include "aapc/topology/io.hpp"
 #include "workload.hpp"
 
@@ -125,6 +135,11 @@ int main(int argc, char** argv) {
   cli.add_flag("slo-p99-ms", "exit 4 unless p99 <= this (0 = no gate)", "0");
   cli.add_flag("metrics-out",
                "write the server registry snapshot to this file as JSON");
+  cli.add_flag("flight",
+               "after the load, execute the fabric schedule under the "
+               "simulator (healthy, then with the trunk degraded by "
+               "--factor) with the flight recorder on and dump the rings "
+               "into this directory");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.help_text();
     return 0;
@@ -332,6 +347,61 @@ int main(int argc, char** argv) {
     if (!out.good()) {
       std::cerr << "FAIL: short write to " << path << "\n";
       return 2;
+    }
+  }
+
+  // Post-chaos forensics: execute the schedule the server was serving
+  // on the fabric it was serving it for — once healthy, once with the
+  // churned trunk held at --factor — with the flight recorder wired
+  // in, and keep both ring dumps. The degraded dump is what an
+  // operator would feed `aapc_analyze --load` when the fabric
+  // misbehaves for real.
+  if (cli.has("flight")) {
+    const std::string dir = cli.get("flight");
+    std::filesystem::create_directories(dir);
+    const topology::Topology& topo = tree.topology;
+    const core::Schedule schedule = core::build_aapc_schedule(topo);
+    const sync::SyncPlan plan = sync::build_sync_plan(topo, schedule);
+    lowering::LoweringOptions lopts;
+    lopts.precomputed_plan = &plan;
+    const mpisim::ProgramSet set =
+        lowering::lower_schedule(topo, schedule, msize, lopts);
+    const simnet::NetworkParams net;
+    for (const bool degraded : {false, true}) {
+      flight::Recorder recorder(topo.machine_count());
+      recorder.annotate(schedule, plan);
+      mpisim::ExecutorParams exec;
+      exec.flight = &recorder;
+      if (degraded) {
+        faults::FaultPlan fault_plan;
+        fault_plan.add(faults::FaultEvent::link_degrade(0, 0, factor));
+        faults::compile(fault_plan, net, topo.link_count(),
+                        tree.link_of_bridge_link)
+            .apply(exec);
+      }
+      mpisim::Executor executor(topo, net, exec);
+      const mpisim::ExecutionResult result = executor.run(set);
+      flight::DumpMeta meta;
+      meta.effective_bandwidth = net.effective_bandwidth();
+      meta.send_overhead = net.send_overhead;
+      meta.recv_overhead = net.recv_overhead;
+      meta.completion_time = result.completion_time;
+      meta.label = degraded ? "aapc_churn --flight (trunk degraded)"
+                            : "aapc_churn --flight (healthy)";
+      const flight::FlightDump dump = flight::snapshot(recorder, meta);
+      const std::string path =
+          dir + (degraded ? "/churn_degraded.flt" : "/churn_healthy.flt");
+      flight::write_dump_file(dump, path);
+      const flight::AnalysisReport report =
+          flight::analyze(dump, topo, &schedule, &plan, &tree);
+      std::cout << "flight: wrote " << path << " ("
+                << report.events_analyzed << " events); "
+                << (report.verdicts.empty()
+                        ? std::string("no verdict\n")
+                        : str_cat(flight::verdict_kind_name(
+                                      report.verdicts.front().kind),
+                                  " — ", report.verdicts.front().detail,
+                                  "\n"));
     }
   }
 

@@ -16,6 +16,14 @@
 //                                            and print the metrics
 //                                            registry as Prometheus
 //                                            text — docs/OBSERVABILITY.md)
+//       ./netprobe --flight=DIR             (same run with the flight
+//                                            recorder on; writes the
+//                                            ring dump into DIR and
+//                                            prints the analyzer's
+//                                            verdict — see
+//                                            docs/OBSERVABILITY.md
+//                                            §flight-recorder)
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,12 +33,16 @@
 #include "aapc/common/table.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/faults/fault_plan.hpp"
+#include "aapc/flight/analyze.hpp"
+#include "aapc/flight/dump.hpp"
+#include "aapc/flight/recorder.hpp"
 #include "aapc/harness/loss_sweep.hpp"
 #include "aapc/lowering/lower.hpp"
 #include "aapc/mpisim/executor.hpp"
 #include "aapc/obs/exposition.hpp"
 #include "aapc/packetsim/packet_network.hpp"
 #include "aapc/simnet/fluid_network.hpp"
+#include "aapc/sync/sync_plan.hpp"
 #include "aapc/topology/generators.hpp"
 
 using namespace aapc;
@@ -240,6 +252,54 @@ int run_metrics_probe() {
   return 0;
 }
 
+/// Flight probe: the scheduled alltoall on paper topology C with the
+/// flight recorder wired in; writes the ring dump into `dir` and runs
+/// the analyzer on it (a healthy run — the analyzer should stay
+/// silent). The dump is `aapc_analyze --load` / flight::read_dump_file
+/// material.
+int run_flight_probe(const std::string& dir) {
+  const topology::Topology topo = topology::make_paper_topology_c();
+  const core::Schedule schedule = core::build_aapc_schedule(topo);
+  // The analyzer needs the same sync plan the lowering used (token tags
+  // are numbered by position in plan.edges), so build it once and share.
+  const sync::SyncPlan plan = sync::build_sync_plan(topo, schedule);
+  lowering::LoweringOptions lopts;
+  lopts.precomputed_plan = &plan;
+  const mpisim::ProgramSet set =
+      lowering::lower_schedule(topo, schedule, 32_KiB, lopts);
+
+  flight::Recorder recorder(topo.machine_count());
+  recorder.annotate(schedule, plan);
+  const simnet::NetworkParams net;
+  mpisim::ExecutorParams exec;
+  exec.flight = &recorder;
+  mpisim::Executor executor(topo, net, exec);
+  const mpisim::ExecutionResult result = executor.run(set);
+
+  flight::DumpMeta meta;
+  meta.effective_bandwidth = net.effective_bandwidth();
+  meta.send_overhead = net.send_overhead;
+  meta.recv_overhead = net.recv_overhead;
+  meta.completion_time = result.completion_time;
+  meta.label = "netprobe --flight";
+  const flight::FlightDump dump = flight::snapshot(recorder, meta);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/netprobe.flt";
+  flight::write_dump_file(dump, path);
+
+  const flight::AnalysisReport report =
+      flight::analyze(dump, topo, &schedule, &plan);
+  std::cout << "flight probe: wrote " << path << " ("
+            << report.events_analyzed << " events, "
+            << report.transfers_observed << " transfers)\n"
+            << report.summary();
+  if (!result.integrity.ok()) {
+    std::cerr << "FAIL: integrity violation in the flight probe run\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +315,9 @@ int main(int argc, char** argv) {
   cli.add_flag("metrics",
                "run the scheduled alltoall with the metrics registry wired "
                "in and print it as Prometheus text exposition");
+  cli.add_flag("flight",
+               "run the scheduled alltoall with the flight recorder on and "
+               "write the ring dump into this directory");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.help_text();
     return 0;
@@ -262,6 +325,7 @@ int main(int argc, char** argv) {
   if (cli.has("faults")) return run_fault_probe(cli.get("faults"));
   if (cli.has("loss-sweep")) return run_loss_sweep_probe();
   if (cli.has("metrics")) return run_metrics_probe();
+  if (cli.has("flight")) return run_flight_probe(cli.get("flight"));
 
   const simnet::NetworkParams params;  // the calibrated defaults
   const Bytes bytes = 1_MiB;

@@ -228,6 +228,32 @@ std::vector<Rank> ranks_crashed_at(const FaultPlan& plan, SimTime t) {
   return crashed;
 }
 
+FaultSummary summarize(const FaultPlan& plan, std::int32_t link_count) {
+  FaultSummary summary;
+  const std::vector<double> factors =
+      link_factors_at(plan, simnet::kNever, link_count);
+  for (std::int32_t l = 0; l < link_count; ++l) {
+    const double factor = factors[static_cast<std::size_t>(l)];
+    if (factor == 0.0) {
+      summary.down_links.push_back(l);
+    } else if (factor < 1.0) {
+      summary.degraded_links.push_back(l);
+    }
+  }
+  for (const FaultEvent& event : plan.events) {
+    if (event.kind == FaultKind::kNodeSlowdown && event.factor > 1.0) {
+      summary.straggler_ranks.push_back(event.rank);
+    }
+  }
+  std::sort(summary.straggler_ranks.begin(), summary.straggler_ranks.end());
+  summary.straggler_ranks.erase(
+      std::unique(summary.straggler_ranks.begin(),
+                  summary.straggler_ranks.end()),
+      summary.straggler_ranks.end());
+  summary.crashed_ranks = ranks_crashed_at(plan, simnet::kNever);
+  return summary;
+}
+
 namespace {
 
 /// Minimal recursive-descent reader for exactly the fault-plan grammar

@@ -112,6 +112,23 @@ std::vector<double> link_factors_at(const FaultPlan& plan, SimTime t,
 /// Ranks whose crash time is <= t, ascending.
 std::vector<Rank> ranks_crashed_at(const FaultPlan& plan, SimTime t);
 
+/// The culprits a plan injects, for closed-loop verification against
+/// flight::analyze() verdicts: which links end up degraded (factor in
+/// (0, 1)) or down (factor 0) once the whole timeline has played out,
+/// and which ranks straggle or crash. Links are in plan link space —
+/// map through the same link_map handed to compile() when comparing
+/// against topology LinkIds.
+struct FaultSummary {
+  std::vector<std::int32_t> degraded_links;
+  std::vector<std::int32_t> down_links;
+  std::vector<Rank> straggler_ranks;
+  std::vector<Rank> crashed_ranks;
+};
+
+/// Summarizes the plan's end state over `link_count` plan links (all
+/// vectors sorted ascending, deduplicated).
+FaultSummary summarize(const FaultPlan& plan, std::int32_t link_count);
+
 /// JSON round-trip:
 ///   {"events":[
 ///     {"kind":"link_degrade","time_ms":120.0,"link":3,"factor":0.5},

@@ -1,0 +1,72 @@
+#include "aapc/flight/diagnostics.hpp"
+
+#include <sstream>
+
+namespace aapc::flight {
+
+std::string format_transfer(std::int32_t src, std::int32_t dst,
+                            std::int32_t tag, std::int64_t bytes) {
+  std::ostringstream os;
+  os << "rank " << src << " -> rank " << dst << " tag=" << tag
+     << " bytes=" << bytes;
+  return os.str();
+}
+
+std::string format_pending(const PendingRequest& request) {
+  std::ostringstream os;
+  os << "pending " << (request.is_send ? "send to rank " : "recv from rank ")
+     << request.peer << " tag=" << request.tag << " bytes=" << request.bytes
+     << (request.matched ? " (matched, in flight)" : " (unmatched)");
+  return os.str();
+}
+
+std::string format_link(const topology::Topology& topo, topology::LinkId link,
+                        std::int32_t bridge_link) {
+  std::ostringstream os;
+  os << "link " << link;
+  if (link >= 0 && link < topo.link_count()) {
+    const auto [a, b] = topo.link_endpoints(link);
+    os << " (" << topo.name(a) << " - " << topo.name(b) << ")";
+  }
+  if (bridge_link >= 0) {
+    os << " [bridge link " << bridge_link << "]";
+  }
+  return os.str();
+}
+
+std::string StallDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "deadlock in program set '" << program_set
+     << "': every live rank is blocked and the network is idle";
+  for (const BlockedRank& rank : blocked) {
+    os << "\n  rank " << rank.rank << ": " << rank.state
+       << " at pc=" << rank.pc << "/" << rank.program_size
+       << ", clock=" << rank.clock << " s";
+    for (const PendingRequest& request : rank.pending) {
+      os << "\n    " << format_pending(request);
+    }
+    const auto listed = static_cast<std::int64_t>(rank.pending.size());
+    if (rank.pending_total > listed) {
+      os << "\n    ... " << (rank.pending_total - listed)
+         << " more pending request(s)";
+    }
+  }
+  for (const StuckTransfer& t : stuck) {
+    os << "\n  stuck transfer: "
+       << format_transfer(t.src, t.dst, t.tag, t.bytes) << " (" << t.remaining
+       << " bytes undelivered at rate 0 — link down?)";
+  }
+  return os.str();
+}
+
+std::string AbortDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "transfer aborted after " << attempts << " attempt(s): "
+     << format_transfer(transfer.src, transfer.dst, transfer.tag,
+                        transfer.bytes)
+     << " (" << transfer.remaining << " bytes undelivered; timeout=" << timeout
+     << " s, retries exhausted — link down?)";
+  return os.str();
+}
+
+}  // namespace aapc::flight

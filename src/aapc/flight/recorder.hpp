@@ -1,0 +1,316 @@
+// Flight recorder: always-on, bounded-memory per-rank ring logs of
+// executor events (Megatrace-style). Each rank owns a lock-free
+// fixed-capacity ring (single writer per rank, power-of-two slots,
+// overwrite-oldest); the executor records compact binary events —
+// send/recv post and completion, sync-token wait/release, watchdog
+// retry — stamped with sim-time and, when the recorder is annotated
+// with a schedule + sync plan, the phase/message ids. A snapshot can
+// run concurrently with writers (seqlock-style: entries that may have
+// been overwritten mid-copy are discarded, never returned torn).
+//
+// The recorder never influences the simulation: recording is a handful
+// of relaxed atomic stores, and ExecutorParams::flight == nullptr (the
+// default) keeps the executor on a bit-identical recorder-free path.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace aapc::obs {
+class Registry;
+}  // namespace aapc::obs
+
+namespace aapc::core {
+struct Schedule;
+}  // namespace aapc::core
+
+namespace aapc::sync {
+struct SyncPlan;
+}  // namespace aapc::sync
+
+namespace aapc::flight {
+
+/// What happened. Each kind pairs the event time with a kind-specific
+/// second timestamp in Event::aux — together they bound the interval
+/// the analyzer attributes (post cost, drain time, wait span).
+enum class EventKind : std::uint8_t {
+  /// ISEND posted; aux = rank clock before the post, so
+  /// time - aux = send_overhead x cpu_factor (straggler signal).
+  kSendPost = 1,
+  /// IRECV posted; aux = rank clock before the post.
+  kRecvPost = 2,
+  /// Flow drained, sender view; aux = flow activation time, so
+  /// time - aux = network drain duration (link-health signal).
+  kSendComplete = 3,
+  /// Payload delivered, receiver view; aux = the recv's post_ready.
+  kRecvComplete = 4,
+  /// Rank blocked waiting on a sync-token recv; aux = post_ready.
+  kSyncWait = 5,
+  /// Sync token delivered (next-phase send unblocked); aux = post_ready.
+  kSyncRelease = 6,
+  /// Watchdog canceled and reposted a stuck transfer; aux = the start
+  /// time of the aborted attempt.
+  kWatchdogRetry = 7,
+};
+inline constexpr std::uint8_t kEventKindMax = 7;
+const char* kind_name(EventKind kind);
+
+/// One recorded event (decoded form; rings store it packed into four
+/// 64-bit words — see pack_event for the narrowing that implies:
+/// phase < 32768, bytes < 4 GiB, aux kept as an f32 offset from time).
+struct Event {
+  EventKind kind = EventKind::kSendPost;
+  std::int32_t peer = -1;
+  std::int32_t tag = 0;
+  std::int64_t bytes = 0;
+  /// Simulated time of the event.
+  double time = 0;
+  /// Kind-specific second timestamp (see EventKind).
+  double aux = 0;
+  /// Schedule phase / message index; -1 unless the recorder was
+  /// annotated (annotate()) and the event maps to a scheduled message.
+  std::int32_t phase = -1;
+  std::int32_t message = -1;
+};
+
+/// Lock-free single-writer ring of Events. Slots are four atomic words;
+/// the writer publishes a monotonic head counter with release order
+/// after filling a slot, so a concurrent snapshot never observes a torn
+/// entry it keeps: any entry whose slot could have been rewritten
+/// during the copy is dropped (counted in the returned drop total).
+class Ring {
+ public:
+  static constexpr std::uint32_t kWordsPerSlot = 4;
+
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit Ring(std::uint32_t capacity);
+
+  Ring(Ring&&) noexcept = default;
+  Ring& operator=(Ring&&) noexcept = default;
+
+  std::uint32_t capacity() const { return capacity_; }
+  /// Total events ever pushed (monotonic).
+  std::uint64_t pushed() const {
+    return head_().load(std::memory_order_acquire);
+  }
+
+  /// Single-writer append; overwrites the oldest entry when full.
+  /// Defined inline below — this is the simulator's hot path, and the
+  /// packing must fuse with the caller's field computations.
+  void push(const Event& event) noexcept;
+
+  /// Copies the retained events, oldest first, into `out` (replacing
+  /// its contents). Safe to run concurrently with push (one writer);
+  /// returns the number of events not retained — overwritten by ring
+  /// wraparound or discarded as potentially torn.
+  std::uint64_t snapshot(std::vector<Event>& out) const;
+
+ private:
+  // words_[0] = head (entries published, complete and readable),
+  // words_[1] = begin (first entry index whose slot is still intact),
+  // words_[2..] = slots. The writer advances begin *before* clobbering
+  // a wrapped slot (release fence), so a reader that copied clobbered
+  // words is guaranteed to also observe the advanced begin and discard
+  // them — a quiescent full ring retains all `capacity` entries. The
+  // cursors live in the slots' allocation so the push hot path chases
+  // one pointer, and the heap keeps them address-stable while Ring
+  // stays movable (vector<Ring> growth).
+  static constexpr std::size_t kCursorWords = 2;
+  std::atomic<std::uint64_t>& head_() const { return words_[0]; }
+  std::atomic<std::uint64_t>& begin_() const { return words_[1]; }
+  std::atomic<std::uint64_t>* slots_() const {
+    return words_.get() + kCursorWords;
+  }
+
+  std::uint32_t capacity_ = 0;
+  std::uint32_t mask_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+namespace detail {
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double bits_double(std::uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t float_bits(float v) {
+  std::uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline float bits_float(std::uint32_t bits) {
+  float v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Slot layout (four words = 32 bytes, half a cache line, so each event
+// costs 6 stores and at most one dirty line):
+//   w0 = kind u8 | phase i16 << 16 | bytes u32 << 32
+//   w1 = peer u32 | tag u32 << 32
+//   w2 = message u32 | f32(time - aux) bits << 32
+//   w3 = time f64 bits
+// The tight packing narrows three fields relative to Event, all far
+// beyond what simulations produce: phase is sign-extended i16 (valid
+// for phase in [-1, 32767]; even 4096-rank schedules stay below ~2 x
+// ranks phases), bytes saturates at 4 GiB - 1 per message, and aux is
+// reconstructed as time - delta with delta in f32 (~7 significant
+// digits on an interval that is microseconds to milliseconds long —
+// the analyzer consumes only such intervals). The dump file format
+// (FORMATS.md section 5) is unaffected: it serializes decoded Events
+// at full width.
+inline void pack_event(const Event& e,
+                       std::uint64_t out[Ring::kWordsPerSlot]) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(
+      std::min<std::int64_t>(std::max<std::int64_t>(e.bytes, 0), 0xFFFFFFFF));
+  out[0] = static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.kind)) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.phase))
+            << 16) |
+           (bytes << 32);
+  out[1] = static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.peer)) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.tag))
+            << 32);
+  out[2] =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.message)) |
+      (static_cast<std::uint64_t>(
+           float_bits(static_cast<float>(e.time - e.aux)))
+       << 32);
+  out[3] = double_bits(e.time);
+}
+
+inline Event unpack_event(const std::uint64_t w[Ring::kWordsPerSlot]) {
+  Event e;
+  e.kind = static_cast<EventKind>(static_cast<std::uint8_t>(w[0]));
+  e.phase = static_cast<std::int16_t>(static_cast<std::uint16_t>(w[0] >> 16));
+  e.bytes = static_cast<std::int64_t>(w[0] >> 32);
+  e.peer = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[1]));
+  e.tag = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[1] >> 32));
+  e.message = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[2]));
+  e.time = bits_double(w[3]);
+  e.aux = e.time - static_cast<double>(
+                       bits_float(static_cast<std::uint32_t>(w[2] >> 32)));
+  return e;
+}
+
+}  // namespace detail
+
+inline void Ring::push(const Event& event) noexcept {
+  std::uint64_t packed[kWordsPerSlot];
+  detail::pack_event(event, packed);
+  const std::uint64_t head = head_().load(std::memory_order_relaxed);
+  if (head >= capacity_) {
+    // About to clobber the slot of entry head - capacity: retire it
+    // first, with a release fence so the slot stores below cannot
+    // become visible before the retirement (pairs with the acquire
+    // fence in snapshot).
+    begin_().store(head - capacity_ + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  std::atomic<std::uint64_t>* slot =
+      slots_() + static_cast<std::size_t>(head & mask_) * kWordsPerSlot;
+  for (std::uint32_t w = 0; w < kWordsPerSlot; ++w) {
+    slot[w].store(packed[w], std::memory_order_relaxed);
+  }
+  // Release-publish: a snapshot that observes head > i has the complete
+  // words of entry i (unless the slot was since rewritten — handled by
+  // the begin cursor above).
+  head_().store(head + 1, std::memory_order_release);
+  // Events on one rank arrive in bursts: start fetching the next
+  // slot's line for write now so the burst's next push doesn't stall
+  // on it.
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(
+      slots_() + static_cast<std::size_t>((head + 1) & mask_) * kWordsPerSlot,
+      1);
+#endif
+}
+
+struct RecorderParams {
+  /// Slots per rank ring; rounded up to a power of two. The default
+  /// (32 KiB of slots per rank) retains every event of a scheduled
+  /// alltoall on fabrics up to ~256 ranks while keeping each ring's
+  /// working set cache-resident — ring footprint, not the per-event
+  /// stores, dominates recorder overhead once rings outgrow the cache
+  /// (see EXPERIMENTS.md section E13). Larger fabrics overwrite oldest
+  /// first; the analyzer accepts partially overwritten rings.
+  std::uint32_t ring_capacity = 1024;
+};
+
+/// Per-rank event recorder the executor writes through
+/// (ExecutorParams::flight). One Ring per rank; each rank's events are
+/// recorded by at most one thread at a time (the deterministic executor
+/// is single-threaded; rings tolerate one writer each regardless).
+class Recorder {
+ public:
+  explicit Recorder(std::int32_t rank_count, const RecorderParams& params = {});
+
+  std::int32_t rank_count() const {
+    return static_cast<std::int32_t>(rings_.size());
+  }
+  std::uint32_t ring_capacity() const {
+    return rings_.empty() ? 0 : rings_.front().capacity();
+  }
+  std::int32_t sync_tag_base() const { return sync_tag_base_; }
+
+  /// Installs the (src, dst) -> (phase, message) and sync-tag ->
+  /// (phase, gated message) maps so subsequent events carry schedule
+  /// coordinates. Tags >= `sync_tag_base` are sync tokens, numbered
+  /// base + (index into plan.edges) — the lowering's convention. Call
+  /// before the run; the maps are read-only while recording.
+  void annotate(const core::Schedule& schedule, const sync::SyncPlan& plan,
+                std::int32_t sync_tag_base = 1 << 20);
+
+  /// Hot path: packs and appends one event to `rank`'s ring.
+  void record(std::int32_t rank, EventKind kind, std::int32_t peer,
+              std::int32_t tag, std::int64_t bytes, double time, double aux) {
+    Event event{kind, peer, tag, bytes, time, aux, -1, -1};
+    if (annotated_) stamp_annotation(rank, event);
+    rings_[static_cast<std::size_t>(rank)].push(event);
+  }
+
+  /// Total events recorded across all rings.
+  std::uint64_t total_recorded() const;
+
+  /// Snapshot of one rank's ring (see Ring::snapshot).
+  std::uint64_t snapshot_rank(std::int32_t rank, std::vector<Event>& out) const;
+
+  /// Exports aapc_flight_* series: events/dropped totals (set to the
+  /// recorder's cumulative counts) and peak ring occupancy.
+  void publish_metrics(obs::Registry& registry) const;
+
+ private:
+  void stamp_annotation(std::int32_t rank, Event& event) const;
+
+  /// "No annotation" sentinel for the coordinate tables (a real
+  /// coordinate of phase 0 / message 0 packs to 0, so 0 cannot mark
+  /// absence).
+  static constexpr std::uint64_t kNoCoord = ~std::uint64_t{0};
+
+  std::vector<Ring> rings_;
+  bool annotated_ = false;
+  std::int32_t sync_tag_base_ = 1 << 20;
+  // Flat lookup tables, filled by annotate(): record() runs per
+  // simulated event, and hash lookups there dominate the recorder's
+  // overhead. Entries are (phase u32 << 32 | message u32) or kNoCoord.
+  /// Indexed by src * rank_count + dst.
+  std::vector<std::uint64_t> data_table_;
+  /// Indexed by tag - sync_tag_base (one entry per sync-plan edge).
+  std::vector<std::uint64_t> sync_table_;
+};
+
+}  // namespace aapc::flight

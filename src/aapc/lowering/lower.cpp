@@ -118,13 +118,12 @@ ProgramSet lower_with_sizes(const topology::Topology& topo,
     info->sync_edges_before_reduction = active_plan->edges_before_reduction;
   }
 
-  // Incoming sync edges per message, and outgoing per message.
-  std::vector<std::vector<std::int32_t>> in_edges(n);
-  std::vector<std::vector<std::int32_t>> out_edges(n);
-  for (const sync::SyncEdge& e : active_plan->edges) {
-    in_edges[static_cast<std::size_t>(e.to)].push_back(e.from);
-    out_edges[static_cast<std::size_t>(e.from)].push_back(e.to);
-  }
+  // Incoming sync edges per message, and outgoing per message (the
+  // same adjacency flight::analyze() rebuilds over a dump).
+  const sync::PlanAdjacency adjacency = sync::build_adjacency(
+      *active_plan, static_cast<std::int64_t>(n));
+  const std::vector<std::vector<std::int32_t>>& in_edges = adjacency.in;
+  const std::vector<std::vector<std::int32_t>>& out_edges = adjacency.out;
 
   std::vector<RankEmitter> emit(static_cast<std::size_t>(ranks));
   if (options.include_self_copy) {

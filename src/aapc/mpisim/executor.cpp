@@ -11,6 +11,7 @@
 #include "aapc/common/error.hpp"
 #include "aapc/common/log.hpp"
 #include "aapc/common/rng.hpp"
+#include "aapc/flight/recorder.hpp"
 #include "aapc/mpisim/network_backend.hpp"
 #include "aapc/obs/metrics.hpp"
 #include "aapc/packetsim/metrics.hpp"
@@ -222,6 +223,16 @@ ExecutionResult Executor::run(const ProgramSet& set) {
   // atomics only. With metrics == nullptr the loop stays on the
   // metrics-free path.
   obs::Registry* const metrics = exec_params_.metrics;
+  // Flight recorder (nullptr = the bit-identical recorder-free path).
+  // Recording is pure observation — a handful of relaxed stores per
+  // event — and never touches simulated state or the jitter streams.
+  flight::Recorder* const flight = exec_params_.flight;
+  if (flight != nullptr) {
+    AAPC_REQUIRE(flight->rank_count() >= ranks,
+                 "flight recorder covers " << flight->rank_count()
+                                           << " ranks but the topology has "
+                                           << ranks << " machines");
+  }
   obs::Histogram* transfer_seconds = nullptr;
   obs::Histogram* sync_wait_seconds = nullptr;
   std::int64_t sync_message_count = 0;
@@ -341,10 +352,15 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         case OpKind::kIsend: {
           AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
                        "rank " << r << ": bad isend peer " << op.peer);
+          const SimTime post_begin = c.clock;
           c.clock += net_params_.send_overhead * cpu_factor(r, c.clock);
           const auto id = static_cast<RequestId>(c.requests.size());
           c.requests.push_back(Request{true, op.peer, op.bytes, op.tag,
                                        c.clock, false, false, 0});
+          if (flight != nullptr) {
+            flight->record(r, flight::EventKind::kSendPost, op.peer, op.tag,
+                           op.bytes, c.clock, post_begin);
+          }
           const MatchKey key{r, op.peer, op.tag};
           auto& recvs = unmatched_recvs[key];
           if (!recvs.empty()) {
@@ -360,10 +376,15 @@ ExecutionResult Executor::run(const ProgramSet& set) {
         case OpKind::kIrecv: {
           AAPC_REQUIRE(op.peer >= 0 && op.peer < ranks && op.peer != r,
                        "rank " << r << ": bad irecv peer " << op.peer);
+          const SimTime post_begin = c.clock;
           c.clock += net_params_.recv_overhead * cpu_factor(r, c.clock);
           const auto id = static_cast<RequestId>(c.requests.size());
           c.requests.push_back(Request{false, op.peer, op.bytes, op.tag,
                                        c.clock, false, false, 0});
+          if (flight != nullptr) {
+            flight->record(r, flight::EventKind::kRecvPost, op.peer, op.tag,
+                           op.bytes, c.clock, post_begin);
+          }
           const MatchKey key{op.peer, r, op.tag};
           auto& sends = unmatched_sends[key];
           if (!sends.empty()) {
@@ -390,6 +411,14 @@ ExecutionResult Executor::run(const ProgramSet& set) {
           } else {
             c.state = RankState::kWait;
             c.wait_target = op.request;
+            if (flight != nullptr) {
+              const Request& req =
+                  c.requests[static_cast<std::size_t>(op.request)];
+              if (!req.is_send && req.tag >= kSyncTag) {
+                flight->record(r, flight::EventKind::kSyncWait, req.peer,
+                               req.tag, req.bytes, c.clock, req.post_ready);
+              }
+            }
           }
           break;
         }
@@ -488,67 +517,52 @@ ExecutionResult Executor::run(const ProgramSet& set) {
       // Every live rank is blocked and no event can unblock any of
       // them: plain deadlock (mismatched posts), a crashed rank, or
       // transfers stuck behind a down link with the watchdog disabled.
-      // Name the blocked ranks, their pending requests, and the stuck
-      // transfers (sorted — hash-map order must not leak in).
-      std::ostringstream os;
-      os << "deadlock in program set '" << set.name
-         << "': every live rank is blocked and the network is idle";
+      // Build the typed diagnostic (shared with flight::analyze, so
+      // stall reports and analyzer verdicts spell transfers the same
+      // way); its to_string() is the exception message.
+      flight::StallDiagnostic diag;
+      diag.program_set = set.name;
       for (Rank r = 0; r < ranks; ++r) {
         const RankCtx& c = ctx[static_cast<std::size_t>(r)];
         if (c.state == RankState::kDone) continue;
-        os << "\n  rank " << r << ": " << state_name(c.state)
-           << " at pc=" << c.pc << "/"
-           << set.programs[static_cast<std::size_t>(r)].ops.size()
-           << ", clock=" << c.clock << " s";
-        std::int32_t listed = 0;
-        std::int64_t pending = 0;
+        flight::BlockedRank blocked;
+        blocked.rank = r;
+        blocked.state = state_name(c.state);
+        blocked.pc = static_cast<std::int64_t>(c.pc);
+        blocked.program_size = static_cast<std::int64_t>(
+            set.programs[static_cast<std::size_t>(r)].ops.size());
+        blocked.clock = c.clock;
         for (const Request& req : c.requests) {
           if (req.complete) continue;
-          ++pending;
-          if (listed >= 8) continue;
-          ++listed;
-          os << "\n    pending "
-             << (req.is_send ? "send to rank " : "recv from rank ")
-             << req.peer << " tag=" << req.tag << " bytes=" << req.bytes
-             << (req.matched ? " (matched, in flight)" : " (unmatched)");
+          ++blocked.pending_total;
+          if (blocked.pending.size() >= 8) continue;
+          blocked.pending.push_back(flight::PendingRequest{
+              req.is_send, req.peer, req.tag,
+              static_cast<std::int64_t>(req.bytes), req.matched});
         }
-        if (pending > listed) {
-          os << "\n    ... " << (pending - listed)
-             << " more pending request(s)";
-        }
+        diag.blocked.push_back(std::move(blocked));
       }
       // Sort numerically by (sender, receiver, tag) — not by rendered
       // string — so "rank 2" precedes "rank 10" and the diagnostic is
       // byte-stable regardless of hash-map iteration order.
-      struct StuckTransfer {
-        Rank send_rank;
-        Rank recv_rank;
-        Tag tag;
-        Bytes bytes;
-        double remaining;
-      };
-      std::vector<StuckTransfer> stuck;
       for (const auto& [flow, binding] : flow_bindings) {
         if (network.flow_rate(flow) == 0 && network.flow_remaining(flow) > 0) {
           const Request& send =
               ctx[static_cast<std::size_t>(binding.send_rank)]
                   .requests[static_cast<std::size_t>(binding.send_request)];
-          stuck.push_back(StuckTransfer{binding.send_rank, binding.recv_rank,
-                                        send.tag, send.bytes,
-                                        network.flow_remaining(flow)});
+          diag.stuck.push_back(flight::StuckTransfer{
+              binding.send_rank, binding.recv_rank, send.tag,
+              static_cast<std::int64_t>(send.bytes),
+              network.flow_remaining(flow)});
         }
       }
-      std::sort(stuck.begin(), stuck.end(),
-                [](const StuckTransfer& a, const StuckTransfer& b) {
-                  return std::tie(a.send_rank, a.recv_rank, a.tag) <
-                         std::tie(b.send_rank, b.recv_rank, b.tag);
+      std::sort(diag.stuck.begin(), diag.stuck.end(),
+                [](const flight::StuckTransfer& a,
+                   const flight::StuckTransfer& b) {
+                  return std::tie(a.src, a.dst, a.tag) <
+                         std::tie(b.src, b.dst, b.tag);
                 });
-      for (const StuckTransfer& t : stuck) {
-        os << "\n  stuck transfer: rank " << t.send_rank << " -> rank "
-           << t.recv_rank << " tag=" << t.tag << " bytes=" << t.bytes << " ("
-           << t.remaining << " bytes undelivered at rate 0 — link down?)";
-      }
-      throw ExecutionStalled(os.str());
+      throw ExecutionStalled(std::move(diag));
     }
     completed.clear();
     network.advance_to(next, completed);
@@ -587,6 +601,17 @@ ExecutionResult Executor::run(const ProgramSet& set) {
               std::max(0.0, drained - recv.post_ready));
         }
       }
+      if (flight != nullptr) {
+        flight->record(binding.send_rank, flight::EventKind::kSendComplete,
+                       binding.recv_rank, send.tag, send.bytes, drained,
+                       binding.start);
+        flight->record(binding.recv_rank,
+                       recv.tag >= kSyncTag
+                           ? flight::EventKind::kSyncRelease
+                           : flight::EventKind::kRecvComplete,
+                       recv.peer, recv.tag, recv.bytes, recv.completion,
+                       recv.post_ready);
+      }
       enqueue(binding.send_rank);
       enqueue(binding.recv_rank);
       flow_bindings.erase(it);
@@ -607,15 +632,14 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                                     binding.send_request)];
       ++result.transfer_timeouts;
       if (binding.attempts >= exec_params_.transfer_max_retries) {
-        std::ostringstream os;
-        os << "transfer aborted after " << (binding.attempts + 1)
-           << " attempt(s): rank " << binding.send_rank << " -> rank "
-           << binding.recv_rank << " tag=" << send.tag
-           << " bytes=" << send.bytes << " ("
-           << network.flow_remaining(flow)
-           << " bytes undelivered; timeout=" << exec_params_.transfer_timeout
-           << " s, retries exhausted — link down?)";
-        throw TransferAborted(os.str());
+        flight::AbortDiagnostic diag;
+        diag.transfer = flight::StuckTransfer{
+            binding.send_rank, binding.recv_rank, send.tag,
+            static_cast<std::int64_t>(send.bytes),
+            network.flow_remaining(flow)};
+        diag.attempts = binding.attempts + 1;
+        diag.timeout = exec_params_.transfer_timeout;
+        throw TransferAborted(std::move(diag));
       }
       network.cancel_flow(flow);
       flow_bindings.erase(it);
@@ -633,6 +657,11 @@ ExecutionResult Executor::run(const ProgramSet& set) {
             << binding.send_rank << " -> rank " << binding.recv_rank
             << " tag=" << send.tag;
       result.fault_markers.push_back(FaultMarker{network.now(), label.str()});
+      if (flight != nullptr) {
+        flight->record(binding.send_rank, flight::EventKind::kWatchdogRetry,
+                       binding.recv_rank, send.tag, send.bytes,
+                       network.now(), binding.start);
+      }
       ledger.record_retry(binding.ledger_entry);
       post_flow(binding.send_rank, binding.send_request, binding.recv_rank,
                 binding.recv_request, network.now() + backoff,
@@ -697,6 +726,7 @@ ExecutionResult Executor::run(const ProgramSet& set) {
                      return a.time < b.time;
                    });
   if (metrics != nullptr) {
+    if (flight != nullptr) flight->publish_metrics(*metrics);
     metrics->counter("aapc_executor_runs_total", "Program-set executions")
         .inc();
     const char* messages_help =

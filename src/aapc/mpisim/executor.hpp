@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "aapc/common/error.hpp"
+#include "aapc/flight/diagnostics.hpp"
 #include "aapc/mpisim/integrity.hpp"
 #include "aapc/mpisim/program.hpp"
 #include "aapc/packetsim/packet_network.hpp"
@@ -37,25 +38,41 @@ namespace aapc::obs {
 class Registry;
 }  // namespace aapc::obs
 
+namespace aapc::flight {
+class Recorder;
+}  // namespace aapc::flight
+
 namespace aapc::mpisim {
 
 /// The run cannot make progress: every live rank is blocked and the
-/// network has no event to deliver. The message names each rank's
-/// state, its pending requests, unmatched posts, and any in-flight
-/// transfer stuck at rate 0 behind a down link. Derives from
-/// InvalidArgument (a deadlocking program set is malformed input).
+/// network has no event to deliver. Carries a typed
+/// flight::StallDiagnostic naming each rank's state, its pending
+/// requests, unmatched posts, and any in-flight transfer stuck at rate
+/// 0 behind a down link; what() is its rendering (the same formatting
+/// path flight::analyze() verdicts use). Derives from InvalidArgument
+/// (a deadlocking program set is malformed input).
 class ExecutionStalled : public InvalidArgument {
  public:
-  explicit ExecutionStalled(const std::string& what)
-      : InvalidArgument(what) {}
+  explicit ExecutionStalled(flight::StallDiagnostic diagnostic)
+      : InvalidArgument(diagnostic.to_string()),
+        diagnostic_(std::move(diagnostic)) {}
+  const flight::StallDiagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  flight::StallDiagnostic diagnostic_;
 };
 
 /// A transfer exceeded ExecutorParams::transfer_timeout with all
-/// retries exhausted (e.g. a permanently-down link); the message names
-/// the endpoint ranks, tag, size, and attempt count.
+/// retries exhausted (e.g. a permanently-down link); the diagnostic
+/// names the endpoint ranks, tag, size, and attempt count.
 class TransferAborted : public Error {
  public:
-  explicit TransferAborted(const std::string& what) : Error(what) {}
+  explicit TransferAborted(flight::AbortDiagnostic diagnostic)
+      : Error(diagnostic.to_string()), diagnostic_(std::move(diagnostic)) {}
+  const flight::AbortDiagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  flight::AbortDiagnostic diagnostic_;
 };
 
 /// One matched point-to-point transfer, for tracing/visualization.
@@ -213,6 +230,18 @@ struct ExecutorParams {
   /// docs/OBSERVABILITY.md. nullptr (the default) records nothing and
   /// keeps the event loop on the metrics-free path.
   obs::Registry* metrics = nullptr;
+
+  /// Optional flight recorder: when set, the run appends compact events
+  /// (send/recv posts and completions, sync waits/releases, watchdog
+  /// retries) to the recorder's per-rank rings — bounded memory,
+  /// overwrite-oldest, a few relaxed stores per event. The recorder
+  /// must cover at least the topology's machine count. nullptr (the
+  /// default) records nothing and keeps the event loop bit-identical
+  /// to the recorder-free executor. See docs/OBSERVABILITY.md
+  /// §flight-recorder; dump with flight::snapshot() after the run (the
+  /// rings stay valid when it threw) and diagnose with
+  /// flight::analyze().
+  flight::Recorder* flight = nullptr;
 };
 
 class Executor {

@@ -142,4 +142,12 @@ SpanningTree compute_spanning_tree(const BridgeNetwork& network) {
   return result;
 }
 
+std::int32_t SpanningTree::bridge_link_of(topology::LinkId link) const {
+  if (link < 0) return -1;
+  for (std::size_t l = 0; l < link_of_bridge_link.size(); ++l) {
+    if (link_of_bridge_link[l] == link) return static_cast<std::int32_t>(l);
+  }
+  return -1;
+}
+
 }  // namespace aapc::stp

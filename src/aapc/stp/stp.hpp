@@ -90,6 +90,12 @@ struct SpanningTree {
   std::vector<topology::LinkId> link_of_bridge_link;
   /// Per machine (rank order): the topology LinkId of its access link.
   std::vector<topology::LinkId> machine_access_link;
+
+  /// Inverse of link_of_bridge_link: the bridge link this topology
+  /// link realizes, or -1 (machine access links and unknown links).
+  /// Lets a diagnosis on the elected tree (flight::analyze verdicts)
+  /// name the physical bridge link a fault plan was written against.
+  std::int32_t bridge_link_of(topology::LinkId link) const;
 };
 
 /// Runs the election. Requires a connected bridge graph with at least

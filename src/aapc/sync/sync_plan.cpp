@@ -215,4 +215,22 @@ PlanAnalysis analyze_plan(const SyncPlan& plan,
   return analysis;
 }
 
+PlanAdjacency build_adjacency(const SyncPlan& plan,
+                              std::int64_t message_count) {
+  AAPC_REQUIRE(message_count >= 0, "negative message count");
+  PlanAdjacency adjacency;
+  const auto n = static_cast<std::size_t>(message_count);
+  adjacency.in.resize(n);
+  adjacency.out.resize(n);
+  for (const SyncEdge& e : plan.edges) {
+    AAPC_REQUIRE(e.from >= 0 && e.to >= 0 &&
+                     e.from < message_count && e.to < message_count &&
+                     e.from < e.to,
+                 "plan edge out of range or not forward");
+    adjacency.in[static_cast<std::size_t>(e.to)].push_back(e.from);
+    adjacency.out[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+  return adjacency;
+}
+
 }  // namespace aapc::sync

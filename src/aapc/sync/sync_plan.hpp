@@ -82,4 +82,18 @@ struct PlanAnalysis {
 /// Analyzes `plan` for a schedule of `message_count` messages.
 PlanAnalysis analyze_plan(const SyncPlan& plan, std::int64_t message_count);
 
+/// In/out neighbor lists of the dependence graph, indexed by message.
+/// Shared by the lowering (which walks predecessors/successors to emit
+/// waits and tokens) and flight::analyze() (which replays the graph to
+/// compute ready times and slack from recorded completions).
+struct PlanAdjacency {
+  std::vector<std::vector<std::int32_t>> in;
+  std::vector<std::vector<std::int32_t>> out;
+};
+
+/// Builds the adjacency lists of `plan` over `message_count` messages;
+/// validates that every edge is forward and in range.
+PlanAdjacency build_adjacency(const SyncPlan& plan,
+                              std::int64_t message_count);
+
 }  // namespace aapc::sync
