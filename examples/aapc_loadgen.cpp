@@ -99,6 +99,10 @@ int main(int argc, char** argv) {
   cli.add_flag("zipf", "zipf exponent for cluster popularity", "1.1");
   cli.add_flag("tenants", "distinct tenant ids cycled over workers", "4");
   cli.add_flag("seed", "workload rng seed", "1");
+  cli.add_flag("kind",
+               "collective kind (alltoall, allgather, reduce_scatter, "
+               "sparse_alltoall)",
+               "alltoall");
   cli.add_flag("verify",
                "compare every response to the in-process artifact", "true");
   cli.add_flag("max-retries",
@@ -131,6 +135,8 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(cli.get_u64("tenants", 4));
   const std::uint64_t seed = cli.get_u64("seed", 1);
   const bool verify = cli.get_bool("verify", true);
+  const core::CollectiveKind kind =
+      core::parse_collective_kind(cli.get_or("kind", "alltoall"));
   const std::int64_t max_retries =
       static_cast<std::int64_t>(cli.get_u64("max-retries", 8));
   const double slo_p99_ms = cli.get_double("slo-p99-ms", 0);
@@ -151,6 +157,21 @@ int main(int argc, char** argv) {
   }
   const examples::ZipfSampler zipf(pool.size(), zipf_s);
 
+  // Sparse requests use a radius-1 ring neighborhood per cluster (the
+  // halo-exchange shape) — deterministic, so the expected artifact
+  // below and every worker agree on the pattern.
+  std::vector<core::SparseNeighbors> pool_neighbors(pool.size());
+  if (kind == core::CollectiveKind::kSparseAlltoall) {
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      const auto n = pool[p].machine_count();
+      pool_neighbors[p].resize(static_cast<std::size_t>(n));
+      for (topology::Rank r = 0; r < n; ++r) {
+        pool_neighbors[p][static_cast<std::size_t>(r)] = {(r + 1) % n,
+                                                          (r + n - 1) % n};
+      }
+    }
+  }
+
   // Ground truth: the in-process service result for every (cluster,
   // size class) cell. Responses must match byte-for-byte.
   std::vector<std::vector<Expected>> expected;
@@ -160,7 +181,7 @@ int main(int argc, char** argv) {
     for (std::size_t p = 0; p < pool.size(); ++p) {
       for (std::size_t s = 0; s < kSizeCount; ++s) {
         const service::CompiledRoutine routine =
-            reference.compile(pool[p], sizes[s]);
+            reference.compile(pool[p], sizes[s], kind, pool_neighbors[p]);
         Expected cell;
         cell.schedule_json = core::schedule_to_json(
             routine.schedule, pool[p].machine_count());
@@ -213,8 +234,8 @@ int main(int argc, char** argv) {
         std::int64_t attempts = 0;
         while (true) {
           try {
-            const netd::ResponseFrame response =
-                client->compile_serialized(pool_text[p], sizes[s], tenant);
+            const netd::ResponseFrame response = client->compile_serialized(
+                pool_text[p], sizes[s], tenant, kind, pool_neighbors[p]);
             const double latency =
                 std::chrono::duration<double>(Clock::now() - arrival).count();
             mine.latencies_seconds.push_back(latency);

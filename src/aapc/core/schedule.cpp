@@ -8,6 +8,34 @@
 
 namespace aapc::core {
 
+const char* collective_kind_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAlltoall:
+      return "alltoall";
+    case CollectiveKind::kAllgather:
+      return "allgather";
+    case CollectiveKind::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveKind::kSparseAlltoall:
+      return "sparse_alltoall";
+  }
+  return "unknown";
+}
+
+CollectiveKind parse_collective_kind(std::string_view name) {
+  if (name == "alltoall") return CollectiveKind::kAlltoall;
+  if (name == "allgather") return CollectiveKind::kAllgather;
+  if (name == "reduce_scatter") return CollectiveKind::kReduceScatter;
+  if (name == "sparse_alltoall") return CollectiveKind::kSparseAlltoall;
+  throw InvalidArgument("unknown collective kind '" + std::string(name) +
+                        "' (want alltoall, allgather, reduce_scatter, or "
+                        "sparse_alltoall)");
+}
+
+bool collective_kind_valid(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(CollectiveKind::kSparseAlltoall);
+}
+
 PhaseSpan Schedule::phase(std::int32_t p) const {
   AAPC_REQUIRE(p >= 0 && p < phase_count(),
                "phase " << p << " out of range [0," << phase_count() << ")");
@@ -132,6 +160,7 @@ Schedule relabel_schedule(const Schedule& schedule,
   };
   Schedule out;
   out.phase_begin = schedule.phase_begin;
+  out.kind = schedule.kind;
   out.messages.reserve(schedule.messages.size());
   for (const ScheduledMessage& sm : schedule.messages) {
     ScheduledMessage mapped = sm;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "aapc/topology/topology.hpp"
@@ -30,6 +31,30 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
   friend auto operator<=>(const Message&, const Message&) = default;
 };
+
+/// The collective operation a schedule realizes. The phase-scheduling
+/// pipeline (decompose → assign / greedy → sync plan → lowering →
+/// executor) is collective-agnostic; the kind names the message
+/// multiset a schedule must cover and the bandwidth bound it is judged
+/// against (core/collectives.hpp). Values are the netd wire encoding
+/// (docs/FORMATS.md §4, v3 request frames) — append only.
+enum class CollectiveKind : std::uint8_t {
+  kAlltoall = 0,       // complete personalized exchange (the paper's AAPC)
+  kAllgather = 1,      // every rank's block to every rank (DFS-ring pipeline)
+  kReduceScatter = 2,  // allgather's dual: reverse DFS-ring pipeline
+  kSparseAlltoall = 3, // personalized exchange over per-rank neighbor sets
+};
+
+/// Wire/metrics name of a kind ("alltoall", "allgather",
+/// "reduce_scatter", "sparse_alltoall").
+const char* collective_kind_name(CollectiveKind kind);
+
+/// Inverse of collective_kind_name; throws InvalidArgument on an
+/// unknown name.
+CollectiveKind parse_collective_kind(std::string_view name);
+
+/// Whether a raw byte (wire field, fuzzed input) names a valid kind.
+bool collective_kind_valid(std::uint8_t raw);
 
 /// Whether a scheduled message crosses the root (global) or stays inside
 /// one root-subtree (local) — §4's distinction.
@@ -57,6 +82,11 @@ struct Schedule {
   /// CSR offsets: phase p occupies messages[phase_begin[p],
   /// phase_begin[p+1]). Size phase_count()+1; empty means no phases.
   std::vector<std::int64_t> phase_begin;
+
+  /// The collective the message multiset realizes. Builders stamp it
+  /// (build_aapc_schedule → kAlltoall, the collectives.hpp builders
+  /// their own kind); relabel_schedule preserves it.
+  CollectiveKind kind = CollectiveKind::kAlltoall;
 
   std::int32_t phase_count() const {
     return phase_begin.empty()

@@ -10,7 +10,13 @@ namespace aapc::core {
 std::string schedule_to_json(const Schedule& schedule,
                              std::int32_t machine_count) {
   std::ostringstream os;
-  os << "{\"machines\":" << machine_count << ",\"phases\":[";
+  os << "{\"machines\":" << machine_count;
+  // Alltoall is implicit so pre-kind schedule JSON stays byte-identical
+  // (determinism goldens, netd loadgen byte-compare).
+  if (schedule.kind != CollectiveKind::kAlltoall) {
+    os << ",\"kind\":\"" << collective_kind_name(schedule.kind) << '"';
+  }
+  os << ",\"phases\":[";
   for (std::int32_t p = 0; p < schedule.phase_count(); ++p) {
     if (p > 0) os << ',';
     os << '[';
@@ -63,6 +69,16 @@ class Reader {
     return out;
   }
 
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      out.push_back(text_[pos_++]);
+    }
+    expect('"');
+    return out;
+  }
+
   std::int64_t integer() {
     skip_space();
     bool negative = false;
@@ -106,6 +122,7 @@ Schedule schedule_from_json(std::string_view json,
   Reader reader(json);
   reader.expect('{');
   std::int64_t machines = -1;
+  CollectiveKind kind = CollectiveKind::kAlltoall;
   std::vector<std::vector<Message>> phases;
   bool saw_phases = false;
   do {
@@ -113,6 +130,8 @@ Schedule schedule_from_json(std::string_view json,
     if (field == "machines") {
       machines = reader.integer();
       AAPC_REQUIRE(machines >= 0, "schedule JSON: negative machine count");
+    } else if (field == "kind") {
+      kind = parse_collective_kind(reader.string_value());
     } else if (field == "phases") {
       saw_phases = true;
       reader.expect('[');
@@ -155,7 +174,9 @@ Schedule schedule_from_json(std::string_view json,
                    "schedule JSON: rank out of range in phase " << p);
     }
   }
-  return Schedule::from_phase_lists(phases);
+  Schedule schedule = Schedule::from_phase_lists(phases);
+  schedule.kind = kind;
+  return schedule;
 }
 
 }  // namespace aapc::core

@@ -147,21 +147,26 @@ ResponseFrame Client::roundtrip(const std::string& frame_bytes,
 }
 
 ResponseFrame Client::compile(const topology::Topology& topo,
-                              Bytes message_bytes,
-                              const std::string& tenant) {
+                              Bytes message_bytes, const std::string& tenant,
+                              core::CollectiveKind kind,
+                              const core::SparseNeighbors& neighbors) {
   return compile_serialized(topology::serialize_topology(topo), message_bytes,
-                            tenant);
+                            tenant, kind, neighbors);
 }
 
 ResponseFrame Client::compile_serialized(const std::string& topology_text,
                                          Bytes message_bytes,
-                                         const std::string& tenant) {
+                                         const std::string& tenant,
+                                         core::CollectiveKind kind,
+                                         const core::SparseNeighbors& neighbors) {
   return with_retry([&] {
     RequestFrame request;
     request.request_id = next_request_id_++;
     request.message_bytes = message_bytes;
     request.tenant = tenant;
     request.topology_text = topology_text;
+    request.kind = kind;
+    request.neighbors = neighbors;
     return roundtrip(encode_request(request), request.request_id);
   });
 }

@@ -68,13 +68,19 @@ class Client {
   /// retry_on_overload covers it), ProtocolError on a malformed
   /// response.
   ResponseFrame compile(const topology::Topology& topo, Bytes message_bytes,
-                        const std::string& tenant = "default");
+                        const std::string& tenant = "default",
+                        core::CollectiveKind kind =
+                            core::CollectiveKind::kAlltoall,
+                        const core::SparseNeighbors& neighbors = {});
 
   /// Same with a pre-serialized docs/FORMATS.md §1 topology (loadgen
   /// serializes each pool entry once instead of per request).
   ResponseFrame compile_serialized(const std::string& topology_text,
                                    Bytes message_bytes,
-                                   const std::string& tenant = "default");
+                                   const std::string& tenant = "default",
+                                   core::CollectiveKind kind =
+                                       core::CollectiveKind::kAlltoall,
+                                   const core::SparseNeighbors& neighbors = {});
 
   /// Fetches the server's merged obs registry snapshot as JSON.
   /// Reconnects on transport failure like compile().

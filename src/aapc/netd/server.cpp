@@ -356,7 +356,21 @@ class EventLoop {
   void handle_frame(const ConnectionPtr& conn, const Frame& frame) {
     switch (frame.header.type) {
       case FrameType::kRequest: {
-        const RequestFrame request = decode_request(frame);
+        RequestFrame request;
+        try {
+          request = decode_request(frame);
+        } catch (const ProtocolError&) {
+          throw;  // framing damage: poison + close (caller handles)
+        } catch (const InvalidArgument& e) {
+          // Well-framed request with bad semantics (out-of-range kind
+          // byte, neighbor sets on a non-sparse kind): the stream is
+          // intact, so answer structurally and keep the connection —
+          // the same contract as churn-event validation below.
+          server_->reject_counter(ErrorCode::kInvalidRequest).inc();
+          reply_error(conn, frame.header.request_id,
+                      ErrorCode::kInvalidRequest, 0, e.what());
+          return;
+        }
         if (server_->draining.load(std::memory_order_acquire)) {
           server_->reject_counter(ErrorCode::kShuttingDown).inc();
           reply_error(conn, request.request_id, ErrorCode::kShuttingDown,
@@ -871,7 +885,8 @@ void Server::Impl::handle_compile(const DispatchItem& item) {
   shard_requests[shard]->inc();
   try {
     const service::CompiledRoutine routine =
-        services[shard]->compile(topo, request.message_bytes, canon);
+        services[shard]->compile(topo, request.message_bytes, canon,
+                                 request.kind, request.neighbors);
     ResponseFrame response;
     response.request_id = request.request_id;
     response.cache_hit = routine.cache_hit;

@@ -17,13 +17,14 @@ namespace {
 constexpr std::uint32_t kMaxRanks = 1u << 20;
 
 std::string finish_frame(FrameType type, std::uint64_t request_id,
-                         std::string payload) {
+                         std::string payload,
+                         std::uint8_t version = kLegacyProtocolVersion) {
   AAPC_REQUIRE(payload.size() <= kMaxPayload,
                "frame payload of " << payload.size()
                                    << " bytes exceeds kMaxPayload");
   ByteWriter w;
   w.u32(kMagic);
-  w.u8(kProtocolVersion);
+  w.u8(version);
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(0);  // reserved
   w.u64(request_id);
@@ -77,11 +78,38 @@ const char* error_code_name(ErrorCode code) {
 }
 
 std::string encode_request(const RequestFrame& request) {
+  AAPC_REQUIRE(request.kind == core::CollectiveKind::kSparseAlltoall ||
+                   request.neighbors.empty(),
+               "neighbor sets are only meaningful for sparse_alltoall");
   ByteWriter w;
   w.u64(request.message_bytes);
   w.str(request.tenant);
   w.str(request.topology_text);
-  return finish_frame(FrameType::kRequest, request.request_id, w.take());
+  // v3 extension: kind byte + neighbor block (count 0 when non-sparse).
+  w.u8(static_cast<std::uint8_t>(request.kind));
+  w.u8(0);  // reserved
+  w.u16(0);
+  w.u32(static_cast<std::uint32_t>(request.neighbors.size()));
+  for (const auto& set : request.neighbors) {
+    w.u32(static_cast<std::uint32_t>(set.size()));
+    for (const topology::Rank v : set) {
+      w.u32(static_cast<std::uint32_t>(v));
+    }
+  }
+  return finish_frame(FrameType::kRequest, request.request_id, w.take(),
+                      kProtocolVersion);
+}
+
+std::string encode_request_v2(const RequestFrame& request) {
+  AAPC_REQUIRE(request.kind == core::CollectiveKind::kAlltoall &&
+                   request.neighbors.empty(),
+               "the v2 request layout can only express alltoall");
+  ByteWriter w;
+  w.u64(request.message_bytes);
+  w.str(request.tenant);
+  w.str(request.topology_text);
+  return finish_frame(FrameType::kRequest, request.request_id, w.take(),
+                      kLegacyProtocolVersion);
 }
 
 std::string encode_response(const ResponseFrame& response) {
@@ -122,16 +150,63 @@ std::string encode_metrics_response(std::uint64_t request_id,
 
 RequestFrame decode_request(const Frame& frame) {
   require_type(frame, FrameType::kRequest, "request");
-  return parse_payload("request", [&] {
+  std::uint8_t raw_kind = 0;
+  RequestFrame request = parse_payload("request", [&] {
     ByteReader r(frame.payload);
-    RequestFrame request;
-    request.request_id = frame.header.request_id;
-    request.message_bytes = r.u64();
-    request.tenant = r.str(kMaxTenantLength);
-    request.topology_text = r.str(kMaxPayload);
+    RequestFrame req;
+    req.request_id = frame.header.request_id;
+    req.message_bytes = r.u64();
+    req.tenant = r.str(kMaxTenantLength);
+    req.topology_text = r.str(kMaxPayload);
+    if (frame.header.version >= 3) {
+      raw_kind = r.u8();
+      (void)r.u8();  // reserved
+      (void)r.u16();
+      const std::uint32_t ranks = r.u32();
+      if (ranks > kMaxRanks) {
+        throw ProtocolError("request declares " + std::to_string(ranks) +
+                            " neighbor sets, above the protocol bound");
+      }
+      req.neighbors.resize(ranks);
+      for (std::uint32_t i = 0; i < ranks; ++i) {
+        const std::uint32_t degree = r.u32();
+        if (degree > ranks) {
+          throw ProtocolError("neighbor set of rank " + std::to_string(i) +
+                              " declares " + std::to_string(degree) +
+                              " entries, above the rank count");
+        }
+        req.neighbors[i].reserve(degree);
+        for (std::uint32_t j = 0; j < degree; ++j) {
+          req.neighbors[i].push_back(static_cast<topology::Rank>(r.u32()));
+        }
+      }
+    }
     r.expect_done("request payload");
-    return request;
+    return req;
   });
+  // Semantic validation runs outside parse_payload on purpose: a
+  // well-framed request with a bad kind byte (or a neighbor block on a
+  // non-sparse kind) is a bad *request* — the stream is intact, so the
+  // server answers a structured kInvalidRequest and keeps the
+  // connection, mirroring the churn-event validation. Truncation and
+  // length-bound violations above still poison as ProtocolError.
+  if (!core::collective_kind_valid(raw_kind)) {
+    throw InvalidArgument("unknown collective kind byte " +
+                          std::to_string(raw_kind));
+  }
+  request.kind = static_cast<core::CollectiveKind>(raw_kind);
+  if (request.kind != core::CollectiveKind::kSparseAlltoall) {
+    for (const auto& set : request.neighbors) {
+      if (!set.empty()) {
+        throw InvalidArgument(
+            std::string("neighbor sets are only meaningful for "
+                        "sparse_alltoall, not ") +
+            core::collective_kind_name(request.kind));
+      }
+    }
+    request.neighbors.clear();
+  }
+  return request;
 }
 
 ResponseFrame decode_response(const Frame& frame) {
@@ -260,9 +335,10 @@ FrameHeader decode_header(std::string_view bytes) {
     }() + ", want 0x43504141); not an aapc_netd peer?");
   }
   const std::uint8_t version = r.u8();
-  if (version != kProtocolVersion) {
+  if (version < kLegacyProtocolVersion || version > kProtocolVersion) {
     throw ProtocolError("unsupported protocol version " +
                         std::to_string(version) + " (this build speaks " +
+                        std::to_string(kLegacyProtocolVersion) + "-" +
                         std::to_string(kProtocolVersion) + ")");
   }
   const std::uint8_t type = r.u8();
@@ -272,6 +348,7 @@ FrameHeader decode_header(std::string_view bytes) {
   (void)r.u16();  // reserved, ignored for forward compatibility
   FrameHeader header;
   header.type = static_cast<FrameType>(type);
+  header.version = version;
   header.request_id = r.u64();
   header.payload_length = r.u32();
   if (header.payload_length > kMaxPayload) {

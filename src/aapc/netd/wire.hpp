@@ -27,17 +27,24 @@
 
 #include "aapc/common/error.hpp"
 #include "aapc/common/units.hpp"
+#include "aapc/core/collectives.hpp"
 #include "aapc/topology/topology.hpp"
 
 namespace aapc::netd {
 
 /// "AAPC" as bytes on the wire (read back as a little-endian u32).
 inline constexpr std::uint32_t kMagic = 0x43504141u;
-/// v2: responses carry the topology epoch and a staleness flag, and the
-/// churn event/ack frame pair exists. v1 peers are rejected at the
-/// header (the response layout changed shape, so speaking both is not
-/// possible on one connection).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v3: request frames carry a collective kind byte and (for
+/// sparse_alltoall) per-rank neighbor sets. v2 request frames are still
+/// accepted and mean alltoall, and every non-request frame type keeps
+/// its v2 layout and version byte, so v2 clients interoperate
+/// unchanged. v1 peers are rejected at the header (the response layout
+/// changed shape in v2, so speaking both is not possible on one
+/// connection). History: docs/FORMATS.md §4.
+inline constexpr std::uint8_t kProtocolVersion = 3;
+/// Oldest version this build still accepts (and the version every
+/// non-request frame is emitted at).
+inline constexpr std::uint8_t kLegacyProtocolVersion = 2;
 /// Fixed header size: magic u32, version u8, type u8, reserved u16,
 /// request_id u64, payload_length u32.
 inline constexpr std::size_t kHeaderSize = 20;
@@ -81,6 +88,10 @@ class ProtocolError : public Error {
 
 struct FrameHeader {
   FrameType type = FrameType::kRequest;
+  /// Protocol version the frame was framed at (in
+  /// [kLegacyProtocolVersion, kProtocolVersion]); payload decoders
+  /// branch on it for layout.
+  std::uint8_t version = kProtocolVersion;
   /// Echoed verbatim in the response/error frame, so clients may
   /// pipeline multiple requests per connection.
   std::uint64_t request_id = 0;
@@ -101,6 +112,12 @@ struct RequestFrame {
   std::string tenant;
   /// docs/FORMATS.md §1 text serialization of the caller's topology.
   std::string topology_text;
+  /// Collective to compile (v3 field; a decoded v2 frame always reads
+  /// back alltoall).
+  core::CollectiveKind kind = core::CollectiveKind::kAlltoall;
+  /// Per-rank neighbor sets in the caller's ranks (sparse_alltoall
+  /// only; must be empty for every other kind).
+  core::SparseNeighbors neighbors;
 };
 
 struct ResponseFrame {
@@ -167,6 +184,10 @@ struct ChurnAckFrame {
 // ---- encoding ----
 
 std::string encode_request(const RequestFrame& request);
+/// Legacy v2 request layout (no kind/neighbors block) — what a v2
+/// client puts on the wire. Kept for interoperability tests; requires
+/// an alltoall request with no neighbor sets.
+std::string encode_request_v2(const RequestFrame& request);
 std::string encode_response(const ResponseFrame& response);
 std::string encode_error(const ErrorFrame& error);
 std::string encode_metrics_request(std::uint64_t request_id);
@@ -177,6 +198,12 @@ std::string encode_churn_ack(const ChurnAckFrame& ack);
 
 // ---- payload decoding (header already validated) ----
 
+/// Decodes a v2 or v3 request frame (layout chosen by the header's
+/// version). A syntactically well-formed v3 frame whose kind byte is
+/// out of range, or that carries neighbor sets for a non-sparse kind,
+/// throws InvalidArgument — a bad *request*, answerable with a
+/// structured error frame — not ProtocolError, which would poison the
+/// connection.
 RequestFrame decode_request(const Frame& frame);
 ResponseFrame decode_response(const Frame& frame);
 ErrorFrame decode_error(const Frame& frame);

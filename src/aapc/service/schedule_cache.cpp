@@ -22,12 +22,15 @@ ScheduleCache::Shard& ScheduleCache::shard_for(const CacheKey& key) {
 }
 
 CompiledEntryPtr ScheduleCache::get(const CacheKey& key,
-                                    const std::string& canonical_form) {
+                                    const std::string& canonical_form,
+                                    const core::SparseNeighbors* neighbors) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end() ||
-      it->second->second->canonical_form != canonical_form) {
+      it->second->second->canonical_form != canonical_form ||
+      it->second->second->kind != static_cast<core::CollectiveKind>(key.kind) ||
+      (neighbors != nullptr && it->second->second->neighbors != *neighbors)) {
     ++shard.misses;
     return nullptr;
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "aapc/common/units.hpp"
+#include "aapc/core/collectives.hpp"
 #include "aapc/core/schedule.hpp"
 #include "aapc/core/weighted.hpp"
 #include "aapc/lowering/lower.hpp"
@@ -33,24 +34,35 @@
 namespace aapc::service {
 
 /// Cache key: canonical topology identity + message-size class +
-/// compilation-options fingerprint. Two requests with equal keys are
-/// served by one compiled artifact.
+/// compilation-options fingerprint + collective kind (+ the sparse
+/// pattern digest for sparse_alltoall). Two requests with equal keys
+/// are served by one compiled artifact; distinct kinds on the same
+/// topology must never alias — without `kind` in the key an allgather
+/// request would be served a cached alltoall schedule.
 struct CacheKey {
   std::uint64_t topology_hash = 0;
   std::uint32_t size_class = 0;
   std::uint32_t options_fingerprint = 0;
+  /// core::CollectiveKind as its wire byte (appended so the historical
+  /// three-field aggregate initializers keep meaning alltoall).
+  std::uint8_t kind = 0;
+  /// core::sparse_pattern_hash of the canonically-relabeled neighbor
+  /// sets; 0 for every non-sparse kind.
+  std::uint64_t pattern_hash = 0;
 
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
 
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const noexcept {
-    // splitmix64 finalizer over the three fields packed into one word
+    // splitmix64 finalizer over the fields packed into one word
     // stream; topology_hash already avalanches, the mix spreads the
-    // low-entropy class/options fields.
+    // low-entropy class/options/kind fields.
     std::uint64_t h = key.topology_hash ^
                       (static_cast<std::uint64_t>(key.size_class) << 32) ^
-                      static_cast<std::uint64_t>(key.options_fingerprint);
+                      static_cast<std::uint64_t>(key.options_fingerprint) ^
+                      (static_cast<std::uint64_t>(key.kind) << 56) ^
+                      (key.pattern_hash * 0x9e3779b97f4a7c15ull);
     h ^= h >> 30;
     h *= 0xbf58476d1ce4e5b9ull;
     h ^= h >> 27;
@@ -93,6 +105,13 @@ struct CompiledEntry {
   /// Residual link rates (canonical link space) the schedule was built
   /// for; empty when compiled rate-blind at nominal rates.
   core::LinkRates link_rates;
+  /// The collective the entry realizes (mirrors schedule.kind; also
+  /// compared on hits so a key collision across kinds is a miss).
+  core::CollectiveKind kind = core::CollectiveKind::kAlltoall;
+  /// Normalized neighbor sets in canonical ranks (sparse_alltoall
+  /// only); compared on hits like canonical_form so a pattern-hash
+  /// collision degrades to a miss.
+  core::SparseNeighbors neighbors;
 };
 
 using CompiledEntryPtr = std::shared_ptr<const CompiledEntry>;
@@ -117,8 +136,11 @@ class ScheduleCache {
 
   /// Returns the entry for `key` (promoting it to most-recently-used)
   /// or nullptr. `canonical_form` guards against hash collisions: an
-  /// entry whose stored form differs is not returned.
-  CompiledEntryPtr get(const CacheKey& key, const std::string& canonical_form);
+  /// entry whose stored form differs is not returned. `neighbors`,
+  /// when non-null, extends the guard to the sparse pattern (a
+  /// pattern-hash collision is a miss, never a wrong schedule).
+  CompiledEntryPtr get(const CacheKey& key, const std::string& canonical_form,
+                       const core::SparseNeighbors* neighbors = nullptr);
 
   /// Inserts (or replaces) the entry for `key`, evicting the shard's
   /// least-recently-used entry when over budget.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "aapc/common/log.hpp"
+#include "aapc/core/collectives.hpp"
 #include "aapc/core/greedy.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
@@ -75,8 +76,6 @@ ScheduleService::ScheduleService(const ServiceOptions& options)
       options_fingerprint_(
           fingerprint_options(options.lowering, options.verify_compiled)),
       cache_(options.cache_capacity, options.cache_shards),
-      requests_(registry_.counter("aapc_service_requests_total",
-                                  "Compile requests received")),
       coalesced_waits_(registry_.counter(
           "aapc_service_coalesced_waits_total",
           "Requests that waited on a concurrent compilation of their key")),
@@ -125,37 +124,66 @@ ScheduleService::ScheduleService(const ServiceOptions& options)
           "Background revalidation latency (weighted recompilation)")),
       pool_(options.compiler_threads, options.queue_capacity,
             options.background_queue_capacity) {
+  for (std::uint8_t raw = 0; core::collective_kind_valid(raw); ++raw) {
+    requests_[raw] = &registry_.counter(
+        "aapc_service_requests_total", "Compile requests received",
+        obs::Labels{{"kind", core::collective_kind_name(
+                                 static_cast<core::CollectiveKind>(raw))}});
+  }
   latency_ring_.reserve(kLatencyReservoirCapacity);
 }
 
 CacheKey ScheduleService::cache_key(const Canonicalization& canon,
                                     Bytes msize) const {
-  return CacheKey{canon.hash, size_class(msize), options_fingerprint_};
+  return cache_key(canon, msize, core::CollectiveKind::kAlltoall, {});
+}
+
+CacheKey ScheduleService::cache_key(
+    const Canonicalization& canon, Bytes msize, core::CollectiveKind kind,
+    const core::SparseNeighbors& canonical_neighbors) const {
+  CacheKey key{canon.hash, size_class(msize), options_fingerprint_};
+  key.kind = static_cast<std::uint8_t>(kind);
+  if (kind == core::CollectiveKind::kSparseAlltoall) {
+    key.pattern_hash = core::sparse_pattern_hash(canonical_neighbors);
+  }
+  return key;
 }
 
 CompiledEntryPtr ScheduleService::compile_entry(
     const std::string& canonical_form, Bytes class_bytes,
-    const TopologyEpochs::View& view) {
+    const TopologyEpochs::View& view, core::CollectiveKind kind,
+    const core::SparseNeighbors& neighbors) {
   const Clock::time_point start = Clock::now();
   auto entry = std::make_shared<CompiledEntry>();
   entry->canonical_form = canonical_form;
   entry->canonical_topo = build_canonical_topology(canonical_form);
   entry->class_bytes = class_bytes;
   entry->epoch = view.epoch;
+  entry->kind = kind;
+  entry->neighbors = neighbors;
   const topology::Topology& topo = entry->canonical_topo;
   compile_ranks_.set(static_cast<double>(topo.machine_count()));
 
-  // A degraded rate vector switches compilation to the weighted
-  // scheduler (core/weighted.hpp): the phase assignment minimizes the
-  // weighted bottleneck cost instead of the uniform-capacity phase
-  // count. Entries for topologies whose links are all nominal take the
-  // paper's pipeline unchanged.
+  // A degraded rate vector switches alltoall compilation to the
+  // weighted scheduler (core/weighted.hpp): the phase assignment
+  // minimizes the weighted bottleneck cost instead of the
+  // uniform-capacity phase count. Entries for topologies whose links
+  // are all nominal take the paper's pipeline unchanged. The ring
+  // pipelines are rate-independent by construction (every round
+  // crosses every ring edge once), so the other kinds never reroute.
   const bool weighted =
+      kind == core::CollectiveKind::kAlltoall &&
       static_cast<std::int32_t>(view.rates.size()) == topo.link_count() &&
       !core::uniform_rates(view.rates);
 
   Clock::time_point stage = Clock::now();
-  if (weighted) {
+  if (kind == core::CollectiveKind::kAllgather) {
+    entry->schedule = core::build_allgather_schedule(topo);
+  } else if (kind == core::CollectiveKind::kReduceScatter) {
+    entry->schedule = core::build_reduce_scatter_schedule(topo);
+  } else if (kind == core::CollectiveKind::kSparseAlltoall) {
+    entry->schedule = core::build_sparse_alltoall_schedule(topo, neighbors);
+  } else if (weighted) {
     entry->schedule = core::build_aapc_schedule_weighted(topo, view.rates);
     entry->link_rates = view.rates;
   } else if (topo.machine_count() >= 3) {
@@ -182,14 +210,25 @@ CompiledEntryPtr ScheduleService::compile_entry(
   stage_assign_seconds_.observe(seconds_since(stage));
 
   if (options_.verify_compiled) {
-    // Weighted schedules trade extra phases for a lower weighted cost,
-    // so only the contention-freeness and coverage checks apply.
-    core::VerifyOptions verify_options;
-    verify_options.require_optimal_phase_count = !weighted;
-    const core::VerifyReport report =
-        core::verify_schedule(topo, entry->schedule, verify_options);
-    AAPC_CHECK_MSG(report.ok, "compiled schedule failed verification:\n"
-                                  << report.summary());
+    if (kind == core::CollectiveKind::kAlltoall) {
+      // Weighted schedules trade extra phases for a lower weighted
+      // cost, so only contention-freeness and coverage apply.
+      core::VerifyOptions verify_options;
+      verify_options.require_optimal_phase_count = !weighted;
+      const core::VerifyReport report =
+          core::verify_schedule(topo, entry->schedule, verify_options);
+      AAPC_CHECK_MSG(report.ok, "compiled schedule failed verification:\n"
+                                    << report.summary());
+    } else {
+      // Per-kind pattern coverage + contention freedom, with the
+      // bandwidth-optimality bound enforced for the ring pipelines.
+      const core::VerifyReport report =
+          core::verify_collective_schedule(topo, entry->schedule, neighbors);
+      AAPC_CHECK_MSG(report.ok,
+                     "compiled " << core::collective_kind_name(kind)
+                                 << " schedule failed verification:\n"
+                                 << report.summary());
+    }
   }
 
   stage = Clock::now();
@@ -243,7 +282,12 @@ CompiledEntryPtr ScheduleService::patch_stale_entry(
   patched->epoch = stale_entry->epoch;  // still pre-event: stays stale
   patched->stale = true;
   patched->link_rates = view.rates;
-  patched->schedule = core::greedy_schedule(topo, core::aapc_pattern(topo));
+  patched->kind = stale_entry->kind;
+  patched->neighbors = stale_entry->neighbors;
+  patched->schedule = core::greedy_schedule(
+      topo, core::collective_pattern(topo, stale_entry->kind,
+                                     stale_entry->neighbors));
+  patched->schedule.kind = stale_entry->kind;
   if (options_.verify_compiled) {
     core::require_contention_free(topo, patched->schedule);
   }
@@ -271,22 +315,23 @@ CompiledEntryPtr ScheduleService::patch_stale_entry(
   return result;
 }
 
-void ScheduleService::schedule_revalidation(const CacheKey& key,
-                                            const std::string& canonical_form,
-                                            Bytes class_bytes,
-                                            std::uint64_t hash) {
+void ScheduleService::schedule_revalidation(
+    const CacheKey& key, const std::string& canonical_form, Bytes class_bytes,
+    std::uint64_t hash, core::CollectiveKind kind,
+    const core::SparseNeighbors& neighbors) {
   {
     const std::lock_guard<std::mutex> lock(in_flight_mutex_);
     if (!revalidating_.insert(key).second) return;  // one per key
   }
-  auto task = [this, key, canonical_form, class_bytes, hash] {
+  auto task = [this, key, canonical_form, class_bytes, hash, kind, neighbors] {
     const Clock::time_point start = Clock::now();
     try {
       // Snapshot the epoch feed at compile start: if another event
       // lands mid-compile, the published entry's epoch predates it and
       // the next hit revalidates again.
       const TopologyEpochs::View view = epochs_.view(hash);
-      CompiledEntryPtr entry = compile_entry(canonical_form, class_bytes, view);
+      CompiledEntryPtr entry =
+          compile_entry(canonical_form, class_bytes, view, kind, neighbors);
       cache_.put(key, entry);
       revalidations_.inc();
       revalidation_seconds_.observe(seconds_since(start));
@@ -373,18 +418,44 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
 CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
                                          Bytes msize,
                                          const Canonicalization& canon) {
+  return compile(topo, msize, canon, core::CollectiveKind::kAlltoall, {});
+}
+
+CompiledRoutine ScheduleService::compile(
+    const topology::Topology& topo, Bytes msize, core::CollectiveKind kind,
+    const core::SparseNeighbors& neighbors) {
+  return compile(topo, msize, canonicalize(topo), kind, neighbors);
+}
+
+CompiledRoutine ScheduleService::compile(
+    const topology::Topology& topo, Bytes msize, const Canonicalization& canon,
+    core::CollectiveKind kind, const core::SparseNeighbors& neighbors) {
   const Clock::time_point start = Clock::now();
   AAPC_REQUIRE(static_cast<std::int32_t>(canon.to_canonical.size()) ==
                    topo.machine_count(),
                "canonicalization covers " << canon.to_canonical.size()
                                           << " ranks but the topology has "
                                           << topo.machine_count());
-  requests_.inc();
-  const CacheKey key = cache_key(canon, msize);
+  // Neighbor sets are keyed, compiled, and cached in canonical rank
+  // space so isomorphic sparse requests share one artifact; non-sparse
+  // kinds must not smuggle a pattern in.
+  core::SparseNeighbors canonical_neighbors;
+  if (kind == core::CollectiveKind::kSparseAlltoall) {
+    canonical_neighbors = core::relabel_neighbors(
+        core::normalize_neighbors(topo.machine_count(), neighbors),
+        canon.to_canonical);
+  } else {
+    AAPC_REQUIRE(neighbors.empty(),
+                 "neighbor sets are only meaningful for sparse_alltoall, not "
+                     << core::collective_kind_name(kind));
+  }
+  requests_[static_cast<std::size_t>(kind)]->inc();
+  const CacheKey key = cache_key(canon, msize, kind, canonical_neighbors);
   const Bytes class_bytes = size_class_bytes(key.size_class);
   const TopologyEpochs::View view = epochs_.view(canon.hash);
 
-  if (CompiledEntryPtr entry = cache_.get(key, canon.canonical_form)) {
+  if (CompiledEntryPtr entry =
+          cache_.get(key, canon.canonical_form, &canonical_neighbors)) {
     if (entry->epoch >= view.invalidated_at) {
       return finish(canon, std::move(entry), /*cache_hit=*/true,
                     /*coalesced=*/false, view.epoch, start);
@@ -396,7 +467,8 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     // evicted, and hashes on untouched links never reach this branch.
     stale_hits_.inc();
     CompiledEntryPtr patched = patch_stale_entry(key, entry, view);
-    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash);
+    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash,
+                          kind, canonical_neighbors);
     return finish(canon, std::move(patched), /*cache_hit=*/true,
                   /*coalesced=*/false, view.epoch, start);
   }
@@ -422,7 +494,7 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
       // compiling again would break the one-compilation-per-key
       // guarantee. Lock order in_flight -> shard is safe: no path holds
       // a shard lock while taking the in-flight lock.
-      late_hit = cache_.get(key, canon.canonical_form);
+      late_hit = cache_.get(key, canon.canonical_form, &canonical_neighbors);
       if (late_hit == nullptr) {
         promise = std::make_shared<std::promise<CompiledEntryPtr>>();
         future = promise->get_future().share();
@@ -438,7 +510,8 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     }
     stale_hits_.inc();
     CompiledEntryPtr patched = patch_stale_entry(key, late_hit, view);
-    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash);
+    schedule_revalidation(key, canon.canonical_form, class_bytes, canon.hash,
+                          kind, canonical_neighbors);
     return finish(canon, std::move(patched), /*cache_hit=*/true,
                   /*coalesced=*/false, view.epoch, start);
   }
@@ -448,9 +521,10 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
     // every coalesced waiter, and removes the in-flight marker (in that
     // order, so a request arriving after removal finds the cache entry).
     auto task = [this, key, form = canon.canonical_form, class_bytes, view,
-                 task_promise = promise]() {
+                 kind, canonical_neighbors, task_promise = promise]() {
       try {
-        CompiledEntryPtr entry = compile_entry(form, class_bytes, view);
+        CompiledEntryPtr entry =
+            compile_entry(form, class_bytes, view, kind, canonical_neighbors);
         cache_.put(key, entry);
         task_promise->set_value(std::move(entry));
       } catch (...) {
@@ -482,14 +556,17 @@ CompiledRoutine ScheduleService::compile(const topology::Topology& topo,
   }
 
   CompiledEntryPtr entry = future.get();  // rethrows compilation errors
-  if (entry->canonical_form != canon.canonical_form) {
-    // 64-bit hash collision between two distinct canonical forms: the
-    // in-flight compilation we waited on was for the other topology.
-    // Serve correctness over throughput: compile inline, uncached.
+  if (entry->canonical_form != canon.canonical_form ||
+      entry->kind != kind || entry->neighbors != canonical_neighbors) {
+    // 64-bit hash collision between two distinct canonical forms (or,
+    // for sparse, two distinct neighbor patterns): the in-flight
+    // compilation we waited on was for the other request. Serve
+    // correctness over throughput: compile inline, uncached.
     hash_collisions_.inc();
     AAPC_WARN("canonical hash collision (hash "
               << canon.hash << "); compiling inline without caching");
-    entry = compile_entry(canon.canonical_form, class_bytes, view);
+    entry = compile_entry(canon.canonical_form, class_bytes, view, kind,
+                          canonical_neighbors);
   }
   return finish(canon, std::move(entry), /*cache_hit=*/false, !leader,
                 view.epoch, start);
@@ -562,7 +639,9 @@ MetricsSnapshot ScheduleService::metrics() const {
     return series != nullptr ? series->counter : 0;
   };
   MetricsSnapshot snapshot;
-  snapshot.requests = count("aapc_service_requests_total");
+  // requests is labeled per collective kind; sum the series.
+  snapshot.requests = static_cast<std::int64_t>(
+      snap.total("aapc_service_requests_total"));
   snapshot.coalesced_waits = count("aapc_service_coalesced_waits_total");
   snapshot.rejected = count("aapc_service_rejected_total");
   snapshot.hash_collisions = count("aapc_service_hash_collisions_total");

@@ -24,6 +24,7 @@
 // cache-key definition, and backpressure contract.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -167,6 +168,19 @@ class ScheduleService {
   CompiledRoutine compile(const topology::Topology& topo, Bytes msize,
                           const Canonicalization& canon);
 
+  /// Compiles a routine of an explicit collective kind. `neighbors`
+  /// (caller ranks) is required non-trivial only for kSparseAlltoall
+  /// and must be empty for every other kind; it is normalized and
+  /// relabeled into canonical ranks before keying, so isomorphic
+  /// sparse requests share a cache entry.
+  CompiledRoutine compile(const topology::Topology& topo, Bytes msize,
+                          core::CollectiveKind kind,
+                          const core::SparseNeighbors& neighbors = {});
+  CompiledRoutine compile(const topology::Topology& topo, Bytes msize,
+                          const Canonicalization& canon,
+                          core::CollectiveKind kind,
+                          const core::SparseNeighbors& neighbors = {});
+
   MetricsSnapshot metrics() const;
   /// Raw registry snapshot behind metrics(), with the cache/pool
   /// mirrors freshly synced — feed this to obs::to_prometheus_text /
@@ -189,7 +203,12 @@ class ScheduleService {
   std::size_t latency_reservoir_size() const;
 
   /// The cache key `compile` uses for a request (exposed for tests).
+  /// The two-argument form keys an alltoall request; the full form
+  /// takes the kind and the *canonical* normalized neighbor sets.
   CacheKey cache_key(const Canonicalization& canon, Bytes msize) const;
+  CacheKey cache_key(const Canonicalization& canon, Bytes msize,
+                     core::CollectiveKind kind,
+                     const core::SparseNeighbors& canonical_neighbors) const;
 
   /// The topology-epoch feed driving cache invalidation. The front-end
   /// binds canonical hashes to physical links here and forwards link
@@ -200,7 +219,9 @@ class ScheduleService {
  private:
   CompiledEntryPtr compile_entry(const std::string& canonical_form,
                                  Bytes class_bytes,
-                                 const TopologyEpochs::View& view);
+                                 const TopologyEpochs::View& view,
+                                 core::CollectiveKind kind,
+                                 const core::SparseNeighbors& neighbors);
   /// Greedy-patched (rate-blind) repair of a stale entry, answered
   /// inline on a stale hit. Memoized per (key, invalidation epoch) in
   /// patched_ so concurrent stale hits do not recompute it.
@@ -212,7 +233,9 @@ class ScheduleService {
   /// revalidation path).
   void schedule_revalidation(const CacheKey& key,
                              const std::string& canonical_form,
-                             Bytes class_bytes, std::uint64_t hash);
+                             Bytes class_bytes, std::uint64_t hash,
+                             core::CollectiveKind kind,
+                             const core::SparseNeighbors& neighbors);
   CompiledRoutine finish(const Canonicalization& canon, CompiledEntryPtr entry,
                          bool cache_hit, bool coalesced, std::uint64_t epoch,
                          std::chrono::steady_clock::time_point start) const;
@@ -250,7 +273,10 @@ class ScheduleService {
   /// first use. Declared before the instrument references below and
   /// before pool_ (whose tasks record into the histogram).
   mutable obs::Registry registry_;
-  obs::Counter& requests_;
+  /// aapc_service_requests_total{kind=...}, one series per collective
+  /// kind, indexed by the kind's wire byte. Registered in the
+  /// constructor body (the registry hands out stable references).
+  std::array<obs::Counter*, 4> requests_{};
   obs::Counter& coalesced_waits_;
   obs::Counter& rejected_;
   obs::Counter& hash_collisions_;

@@ -13,6 +13,7 @@
 #include "aapc/core/schedule_io.hpp"
 #include "aapc/faults/fault_plan.hpp"
 #include "aapc/flight/dump.hpp"
+#include "aapc/netd/wire.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/core/verify.hpp"
 #include "aapc/simnet/fluid_network.hpp"
@@ -428,6 +429,52 @@ TEST_P(SimFuzzTest, RandomFlowsConserveBytesAndTerminate) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest,
                          ::testing::Range<std::uint64_t>(0, 20));
+
+class NetdRequestFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetdRequestFuzzTest, MutatedV3RequestsRejectTypedOrDecode) {
+  Rng rng(GetParam() * 1442695040888963407ull + 17);
+  netd::RequestFrame request;
+  request.request_id = 5;
+  request.message_bytes = 4096;
+  request.tenant = "fuzz";
+  request.topology_text =
+      topology::serialize_topology(topology::make_single_switch(4));
+  request.kind = core::CollectiveKind::kSparseAlltoall;
+  request.neighbors = {{1, 2}, {0}, {3}, {0, 1, 2}};
+  const std::string pristine = netd::encode_request(request);
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes = pristine;
+    // Mutate 1-4 bytes anywhere past the magic, biased toward the v3
+    // tail where the kind byte and neighbor block live. Every outcome
+    // must be typed: a decoded request with a valid kind,
+    // InvalidArgument (bad kind byte, neighbors on a non-sparse kind),
+    // or ProtocolError (bounds, truncation, framing).
+    const int mutations = static_cast<int>(rng.next_in(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t low =
+          rng.next_below(2) == 0 ? bytes.size() - 30 : 4;
+      const std::size_t offset =
+          low + rng.next_below(static_cast<std::uint64_t>(
+                    bytes.size() - low));
+      bytes[offset] = static_cast<char>(rng.next_below(256));
+    }
+    netd::FrameDecoder decoder;
+    decoder.feed(bytes);
+    try {
+      std::optional<netd::Frame> frame = decoder.next();
+      if (!frame.has_value()) continue;  // mutated length: mid-frame
+      const netd::RequestFrame decoded = netd::decode_request(*frame);
+      EXPECT_TRUE(core::collective_kind_valid(
+          static_cast<std::uint8_t>(decoded.kind)));
+    } catch (const netd::ProtocolError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetdRequestFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
 
 }  // namespace
 }  // namespace aapc

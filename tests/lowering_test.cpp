@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "aapc/common/error.hpp"
+#include "aapc/core/collectives.hpp"
 #include "aapc/core/scheduler.hpp"
 #include "aapc/lowering/lower.hpp"
 #include "aapc/mpisim/executor.hpp"
@@ -187,6 +189,90 @@ TEST(LoweringTest, CorruptedScheduleFailsContentionCheck) {
   LoweringOptions lax;
   lax.verify_schedule = false;
   EXPECT_NO_THROW(lower_schedule(topo, schedule, 8_KiB, lax));
+}
+
+// Irregular lowering over sparse-alltoall schedules
+// (core::build_sparse_alltoall_schedule): the schedules only carry the
+// induced message set, so the irregular path is the natural lowering —
+// per-pair sizes come from the sparse application's size matrix.
+
+std::vector<Bytes> uniform_matrix(std::int32_t n, Bytes bytes) {
+  return std::vector<Bytes>(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), bytes);
+}
+
+TEST(LoweringSparseTest, EmptyAndSelfOnlyNeighborSetsLowerToNoTraffic) {
+  const Topology topo = make_single_switch(4);
+  core::SparseNeighbors self_only(4);
+  for (topology::Rank r = 0; r < 4; ++r) {
+    self_only[static_cast<std::size_t>(r)] = {r};
+  }
+  for (const core::SparseNeighbors& neighbors :
+       {core::SparseNeighbors(4), self_only}) {
+    const core::Schedule schedule =
+        core::build_sparse_alltoall_schedule(topo, neighbors);
+    ASSERT_EQ(schedule.message_count(), 0);
+    LoweringInfo info;
+    const mpisim::ProgramSet set = lower_schedule_irregular(
+        topo, schedule, uniform_matrix(4, 8_KiB), {}, &info);
+    EXPECT_EQ(info.data_messages, 0);
+    EXPECT_EQ(info.sync_messages, 0);
+    EXPECT_EQ(set.rank_count(), 4);
+    // The degenerate programs still execute cleanly.
+    mpisim::Executor executor(topo, quiet_net(), no_jitter());
+    const mpisim::ExecutionResult result = executor.run(set);
+    EXPECT_TRUE(result.integrity.ok()) << result.integrity.summary();
+    EXPECT_EQ(result.integrity.expected, result.message_count);
+  }
+}
+
+TEST(LoweringSparseTest, RingNeighborhoodExecutesWithIrregularSizes) {
+  const Topology topo = make_paper_figure1();
+  const std::int32_t n = topo.machine_count();
+  core::SparseNeighbors ring(static_cast<std::size_t>(n));
+  for (topology::Rank r = 0; r < n; ++r) {
+    ring[static_cast<std::size_t>(r)] = {(r + 1) % n, (r + n - 1) % n};
+  }
+  const core::Schedule schedule =
+      core::build_sparse_alltoall_schedule(topo, ring);
+  // Asymmetric halo: forward neighbor gets 4x the backward payload.
+  std::vector<Bytes> matrix = uniform_matrix(n, 2_KiB);
+  for (topology::Rank r = 0; r < n; ++r) {
+    matrix[static_cast<std::size_t>(r * n + (r + 1) % n)] = 8_KiB;
+  }
+  LoweringInfo info;
+  const mpisim::ProgramSet set =
+      lower_schedule_irregular(topo, schedule, matrix, {}, &info);
+  EXPECT_EQ(info.data_messages, 2 * n);
+  mpisim::Executor executor(topo, quiet_net(), no_jitter());
+  const mpisim::ExecutionResult result = executor.run(set);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.summary();
+  EXPECT_EQ(result.integrity.expected, result.message_count);
+}
+
+TEST(LoweringSparseTest, FullyDenseLowersBitIdenticallyToAapc) {
+  const Topology topo = make_paper_figure1();
+  const std::int32_t n = topo.machine_count();
+  core::SparseNeighbors dense(static_cast<std::size_t>(n));
+  for (topology::Rank r = 0; r < n; ++r) {
+    for (topology::Rank v = 0; v < n; ++v) {
+      if (v != r) dense[static_cast<std::size_t>(r)].push_back(v);
+    }
+  }
+  const core::Schedule sparse =
+      core::build_sparse_alltoall_schedule(topo, dense);
+  const core::Schedule aapc = core::build_aapc_schedule(topo);
+  const std::vector<Bytes> matrix = uniform_matrix(n, 8_KiB);
+  const mpisim::ProgramSet from_sparse =
+      lower_schedule_irregular(topo, sparse, matrix);
+  const mpisim::ProgramSet from_aapc =
+      lower_schedule_irregular(topo, aapc, matrix);
+  ASSERT_EQ(from_sparse.rank_count(), from_aapc.rank_count());
+  for (std::int32_t r = 0; r < from_sparse.rank_count(); ++r) {
+    EXPECT_EQ(from_sparse.programs[static_cast<std::size_t>(r)].to_string(),
+              from_aapc.programs[static_cast<std::size_t>(r)].to_string())
+        << "rank " << r;
+  }
 }
 
 }  // namespace

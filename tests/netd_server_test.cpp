@@ -130,6 +130,76 @@ TEST(NetdServerTest, InvalidTopologyAnswersStructuredErrorAndKeepsConnection) {
   EXPECT_FALSE(ok.schedule_json.empty());
 }
 
+TEST(NetdServerTest, BadCollectiveKindAnswersStructuredErrorAndKeepsConnection) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  RequestFrame request;
+  request.request_id = 77;
+  request.message_bytes = 8_KiB;
+  request.topology_text =
+      topology::serialize_topology(topology::make_paper_figure1());
+  std::string bytes = encode_request(request);
+  // Re-stamp the kind byte (8 bytes from the end: kind u8 + 3 reserved
+  // bytes + empty-set count u32) to a value off the enum.
+  bytes[bytes.size() - 8] = static_cast<char>(9);
+  client.send_raw(bytes);
+  const Frame frame = client.read_frame();
+  ASSERT_EQ(frame.header.type, FrameType::kError);
+  const ErrorFrame error = decode_error(frame);
+  EXPECT_EQ(error.code, ErrorCode::kInvalidRequest);
+  EXPECT_EQ(error.request_id, 77u);
+  // A bad kind is a bad request, not a torn stream: unlike the
+  // malformed-frame path the connection stays open and serves the
+  // next compile.
+  const ResponseFrame ok =
+      client.compile(topology::make_paper_figure1(), 8_KiB);
+  EXPECT_FALSE(ok.schedule_json.empty());
+}
+
+TEST(NetdServerTest, CompilesEveryCollectiveKindOverLoopback) {
+  const auto server = start_server();
+  Client client("127.0.0.1", server->port());
+  service::ScheduleService reference;
+  const Topology topo = topology::make_paper_figure1();
+  const std::int32_t n = topo.machine_count();
+  core::SparseNeighbors ring(static_cast<std::size_t>(n));
+  for (topology::Rank r = 0; r < n; ++r) {
+    ring[static_cast<std::size_t>(r)] = {(r + 1) % n, (r + n - 1) % n};
+  }
+  struct Case {
+    core::CollectiveKind kind;
+    core::SparseNeighbors neighbors;
+  };
+  const std::vector<Case> cases{
+      {core::CollectiveKind::kAlltoall, {}},
+      {core::CollectiveKind::kAllgather, {}},
+      {core::CollectiveKind::kReduceScatter, {}},
+      {core::CollectiveKind::kSparseAlltoall, ring},
+  };
+  for (const Case& c : cases) {
+    const ResponseFrame over_wire =
+        client.compile(topo, 8_KiB, "default", c.kind, c.neighbors);
+    const service::CompiledRoutine in_process =
+        reference.compile(topo, 8_KiB, c.kind, c.neighbors);
+    EXPECT_EQ(over_wire.schedule_json,
+              core::schedule_to_json(in_process.schedule, n))
+        << core::collective_kind_name(c.kind);
+    EXPECT_EQ(in_process.schedule.kind, c.kind);
+  }
+  // Neighbor sets on a non-sparse kind are a request-scoped error.
+  try {
+    (void)client.compile(topo, 8_KiB, "default",
+                         core::CollectiveKind::kAllgather, ring);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidRequest);
+  } catch (const Error&) {
+    // encode-side rejection is also acceptable — nothing hit the wire
+  }
+  EXPECT_FALSE(
+      client.compile(topo, 8_KiB).schedule_json.empty());
+}
+
 TEST(NetdServerTest, MalformedFrameAnswersProtocolErrorThenCloses) {
   const auto server = start_server();
   Client client("127.0.0.1", server->port());

@@ -242,6 +242,38 @@ TEST(ScheduleServiceTest, SizeClassMath) {
   EXPECT_THROW(ScheduleService::size_class(0), InvalidArgument);
 }
 
+TEST(ScheduleServiceTest, SizeClassBoundariesTableDriven) {
+  // Pin the bucketing contract at every boundary: class c covers
+  // (2^(c-1), 2^c], so 2^k maps to k and 2^k + 1 tips into k + 1 —
+  // an off-by-one here silently merges or splits cache entries.
+  struct Case {
+    Bytes msize;
+    std::uint32_t want;
+  };
+  std::vector<Case> cases{{1, 0}};
+  for (std::uint32_t k = 1; k <= 62; ++k) {
+    const Bytes pow = Bytes{1} << k;
+    // 2^k - 1: still class k for k >= 2 (for k == 1 it is exactly 1,
+    // which is class 0 — the only size class 0 covers).
+    if (k >= 2) cases.push_back({pow - 1, k});
+    cases.push_back({pow, k});      // exact power: class k
+    if (k < 62) cases.push_back({pow + 1, k + 1});  // tips over
+  }
+  for (const Case& c : cases) {
+    EXPECT_EQ(ScheduleService::size_class(c.msize), c.want)
+        << "msize=" << c.msize;
+    // Round-trip: the representative size of the class covers msize.
+    EXPECT_GE(ScheduleService::size_class_bytes(
+                  ScheduleService::size_class(c.msize)),
+              c.msize)
+        << "msize=" << c.msize;
+  }
+  // (2^0, 2^1] edge: class 1's open lower bound excludes 1.
+  EXPECT_EQ(ScheduleService::size_class_bytes(0), Bytes{1});
+  EXPECT_THROW(ScheduleService::size_class(0), InvalidArgument);
+  EXPECT_THROW(ScheduleService::size_class_bytes(63), InvalidArgument);
+}
+
 TEST(ScheduleServiceTest, SizeClassRejectsOversizedRequests) {
   // Regression: sizes above 2^62 used to pass entry validation and
   // blow up later (size_class_bytes range check, or shift overflow in
@@ -297,7 +329,15 @@ TEST(ScheduleServiceTest, MetricsSnapshotExposesRegistrySeries) {
   service.compile(topology::make_paper_figure1(), 8_KiB);
   service.compile(topology::make_paper_figure1(), 8_KiB);  // cache hit
   const obs::RegistrySnapshot snap = service.metrics_snapshot();
-  EXPECT_EQ(snap.value("aapc_service_requests_total"), 2.0);
+  // requests is labeled per collective kind; both of these landed on
+  // the alltoall series and total() sums all kinds.
+  EXPECT_EQ(snap.total("aapc_service_requests_total"), 2.0);
+  EXPECT_EQ(snap.value("aapc_service_requests_total",
+                       obs::Labels{{"kind", "alltoall"}}),
+            2.0);
+  EXPECT_EQ(snap.value("aapc_service_requests_total",
+                       obs::Labels{{"kind", "allgather"}}),
+            0.0);
   EXPECT_GE(snap.value("aapc_service_cache_hits_total"), 1.0);
   // 2, not 1: the compiling request re-checks the cache after winning
   // the in-flight race (the "late hit" path), and that lookup counts.
